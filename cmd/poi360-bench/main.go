@@ -1,0 +1,117 @@
+// Command poi360-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	poi360-bench                         # run every experiment at full scale
+//	poi360-bench -experiment fig16a      # one experiment
+//	poi360-bench -quick                  # shrunken sessions (seconds, not minutes)
+//	poi360-bench -csv out/               # also dump raw curves as CSV
+//	poi360-bench -list                   # list experiment IDs
+//
+// Each experiment prints the paper's reported result next to the measured
+// one so the reproduction quality is visible at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"poi360"
+	"poi360/internal/trace"
+)
+
+func main() {
+	var (
+		expID   = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sessions for a fast pass")
+		seed    = flag.Int64("seed", 0, "seed offset for all sessions")
+		users   = flag.Int("users", 0, "override number of user profiles (1-5)")
+		repeats = flag.Int("repeats", 0, "override per-user session repeats")
+		secs    = flag.Int("session-seconds", 0, "override per-session duration")
+		csvDir  = flag.String("csv", "", "directory to dump raw curve CSVs into")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		verbose = flag.Bool("v", false, "print per-session progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range poi360.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := poi360.ExperimentOptions{
+		Quick:   *quick,
+		Seed:    *seed,
+		Users:   *users,
+		Repeats: *repeats,
+	}
+	if *secs > 0 {
+		opts.SessionTime = time.Duration(*secs) * time.Second
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	var todo []poi360.Experiment
+	if *expID == "all" {
+		todo = poi360.Experiments()
+	} else {
+		found := false
+		for _, e := range poi360.Experiments() {
+			if e.ID == *expID {
+				todo = append(todo, e)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n", e.Paper)
+		t0 := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, tab := range rep.Tables {
+			fmt.Println()
+			tab.Fprint(os.Stdout)
+		}
+		if *csvDir != "" && len(rep.Series) > 0 {
+			if err := dumpSeries(*csvDir, e.ID, rep.Series); err != nil {
+				fmt.Fprintf(os.Stderr, "csv dump failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("\n    (%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+	}
+	fmt.Printf("completed %d experiments in %.1fs\n", len(todo), time.Since(start).Seconds())
+}
+
+func dumpSeries(dir, id string, series []trace.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteSeriesCSV(f, series...); err != nil {
+		return err
+	}
+	fmt.Printf("    wrote %s\n", path)
+	return nil
+}

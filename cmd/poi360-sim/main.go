@@ -1,0 +1,119 @@
+// Command poi360-sim runs a single 360° telephony session and prints its
+// headline metrics, mirroring one of the paper's field-test runs.
+//
+// Usage examples:
+//
+//	poi360-sim                                        # defaults: POI360/GCC, cellular
+//	poi360-sim -rc fbcc -cell campus -user scanner
+//	poi360-sim -scheme conduit -network wireline -duration 2m
+//	poi360-sim -rss -115 -load 0.3 -speed 30          # custom radio environment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poi360"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 60*time.Second, "session length")
+		network  = flag.String("network", "cellular", "cellular or wireline")
+		scheme   = flag.String("scheme", "poi360", "poi360, conduit, pyramid")
+		rc       = flag.String("rc", "gcc", "gcc or fbcc")
+		user     = flag.String("user", "typical", "user profile (calm, typical, curious, restless, scanner)")
+		cell     = flag.String("cell", "", "named cell: strong, moderate, weak, busy, campus")
+		rss      = flag.Float64("rss", 0, "custom RSS in dBm (overrides -cell)")
+		load     = flag.Float64("load", 0.1, "background load for custom cell")
+		speed    = flag.Float64("speed", 0, "vehicle speed in mph for custom cell")
+		seed     = flag.Int64("seed", 1, "random seed")
+		mosOut   = flag.Bool("mos", false, "also print the MOS distribution")
+	)
+	flag.Parse()
+
+	cfg := poi360.SessionConfig{Duration: *duration, Seed: *seed}
+
+	switch *network {
+	case "cellular":
+		cfg.Network = poi360.Cellular
+	case "wireline":
+		cfg.Network = poi360.Wireline
+	default:
+		fatal("unknown network %q", *network)
+	}
+
+	switch *scheme {
+	case "poi360", "adaptive":
+		cfg.Scheme = poi360.SchemeAdaptive
+	case "conduit":
+		cfg.Scheme = poi360.SchemeConduit
+	case "pyramid":
+		cfg.Scheme = poi360.SchemePyramid
+	default:
+		fatal("unknown scheme %q", *scheme)
+	}
+
+	switch *rc {
+	case "gcc":
+		cfg.RC = poi360.RCGCC
+	case "fbcc":
+		cfg.RC = poi360.RCFBCC
+	default:
+		fatal("unknown rate control %q", *rc)
+	}
+
+	u, err := poi360.UserByName(*user)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg.User = u
+
+	switch *cell {
+	case "":
+		// default or custom via -rss
+	case "strong":
+		cfg.Cell = poi360.CellStrongIdle
+	case "moderate":
+		cfg.Cell = poi360.CellModerate
+	case "weak":
+		cfg.Cell = poi360.CellWeak
+	case "busy":
+		cfg.Cell = poi360.CellBusy
+	case "campus":
+		cfg.Cell = poi360.CellCampus
+	default:
+		fatal("unknown cell %q", *cell)
+	}
+	if *rss != 0 {
+		cfg.Cell = poi360.CellProfile{RSSdBm: *rss, BackgroundLoad: *load, SpeedMph: *speed, Seed: *seed}
+	}
+
+	res, err := poi360.RunSession(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Println(poi360.Summary(res))
+	d := res.DelaySummary()
+	p := res.PSNRSummary()
+	fmt.Printf("  delay   : median %.0f ms, P90 %.0f ms, P99 %.0f ms\n", d.Median, d.P90, d.P99)
+	fmt.Printf("  quality : mean %.1f dB (std %.1f), min %.1f, max %.1f\n", p.Mean, p.Std, p.Min, p.Max)
+	fmt.Printf("  frames  : sent %d, delivered %d, lost %d, packet drops %d\n",
+		res.FramesSent, res.FramesDelivered, res.FramesLost, res.PacketDrops)
+	if res.Config.RC == poi360.RCFBCC {
+		fmt.Printf("  fbcc    : %d uplink overuse detections\n", res.FBCCOveruses)
+	}
+	if *mosOut {
+		pdf := res.MOSPDF()
+		fmt.Printf("  MOS     : bad %.1f%%, poor %.1f%%, fair %.1f%%, good %.1f%%, excellent %.1f%%\n",
+			100*pdf[0], 100*pdf[1], 100*pdf[2], 100*pdf[3], 100*pdf[4])
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,116 @@
+// Command poi360-trace runs one session and dumps its time series as CSV —
+// the raw material behind the paper's time-domain plots: encoder rate Rv,
+// pacing rate Rrtp, firmware-buffer level, granted TBS rate, per-frame
+// delay and ROI PSNR, the mismatch time M, and the adaptive mode index.
+//
+// Usage:
+//
+//	poi360-trace -rc fbcc -cell campus > trace.csv
+//	poi360-trace -series diag          # only the modem diagnostics
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"poi360"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 60*time.Second, "session length")
+		rc       = flag.String("rc", "gcc", "gcc or fbcc")
+		cell     = flag.String("cell", "campus", "strong, moderate, weak, busy, campus")
+		user     = flag.String("user", "typical", "user profile")
+		seed     = flag.Int64("seed", 1, "random seed")
+		series   = flag.String("series", "rates", "which series: rates, frames, diag, mismatch")
+	)
+	flag.Parse()
+
+	cfg := poi360.SessionConfig{Duration: *duration, Seed: *seed, Network: poi360.Cellular}
+	switch *rc {
+	case "gcc":
+		cfg.RC = poi360.RCGCC
+	case "fbcc":
+		cfg.RC = poi360.RCFBCC
+	default:
+		fatal("unknown rc %q", *rc)
+	}
+	switch *cell {
+	case "strong":
+		cfg.Cell = poi360.CellStrongIdle
+	case "moderate":
+		cfg.Cell = poi360.CellModerate
+	case "weak":
+		cfg.Cell = poi360.CellWeak
+	case "busy":
+		cfg.Cell = poi360.CellBusy
+	case "campus":
+		cfg.Cell = poi360.CellCampus
+	default:
+		fatal("unknown cell %q", *cell)
+	}
+	u, err := poi360.UserByName(*user)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg.User = u
+
+	res, err := poi360.RunSession(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *series {
+	case "rates":
+		write(w, "t_s", "rv_bps", "rrtp_bps", "mode")
+		for i := range res.VideoRate {
+			write(w,
+				f(res.VideoRate[i].At.Seconds()),
+				f(res.VideoRate[i].V),
+				f(res.RTPRate[i].V),
+				f(res.Modes[i].V))
+		}
+	case "frames":
+		write(w, "t_s", "delay_ms", "roi_psnr_db", "roi_level")
+		for i := range res.ROILevels {
+			write(w,
+				f(res.ROILevels[i].At.Seconds()),
+				f(float64(res.FrameDelays[i])/float64(time.Millisecond)),
+				f(res.ROIPSNRs[i]),
+				f(res.ROILevels[i].V))
+		}
+	case "diag":
+		write(w, "t_s", "buffer_bytes", "tbs_bps")
+		for _, d := range res.Diag {
+			write(w, f(d.At.Seconds()), strconv.Itoa(d.BufferBytes), f(d.TBSRate))
+		}
+	case "mismatch":
+		write(w, "t_s", "m_s")
+		for _, m := range res.Mismatch {
+			write(w, f(m.At.Seconds()), f(m.V))
+		}
+	default:
+		fatal("unknown series %q", *series)
+	}
+}
+
+func write(w *csv.Writer, cells ...string) {
+	if err := w.Write(cells); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'f', -1, 64) }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

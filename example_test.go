@@ -1,0 +1,51 @@
+package poi360_test
+
+import (
+	"fmt"
+	"time"
+
+	"poi360"
+)
+
+// ExampleMOSForPSNR shows the Table 1 mapping.
+func ExampleMOSForPSNR() {
+	for _, psnr := range []float64{39, 34, 28, 22, 15} {
+		fmt.Println(poi360.MOSForPSNR(psnr))
+	}
+	// Output:
+	// Excellent
+	// Good
+	// Fair
+	// Poor
+	// Bad
+}
+
+// ExampleRunSession runs a short telephony session and inspects the result.
+func ExampleRunSession() {
+	res, err := poi360.RunSession(poi360.SessionConfig{
+		Duration: 12 * time.Second,
+		Scheme:   poi360.SchemeAdaptive,
+		RC:       poi360.RCFBCC,
+		Seed:     1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Config.Scheme.String(), res.Config.RC.String())
+	fmt.Println(res.FramesDelivered > 0)
+	// Output:
+	// POI360 FBCC
+	// true
+}
+
+// ExampleExperiments lists the first reproduction experiments.
+func ExampleExperiments() {
+	for _, e := range poi360.Experiments()[:3] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// fig5
+	// fig6
+	// table1
+}

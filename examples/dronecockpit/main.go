@@ -1,0 +1,63 @@
+// Dronecockpit: the paper's Fig. 1 scenario — a 360° camera on a moving
+// vehicle streams into a remote "virtual cockpit" over LTE. This example
+// sweeps vehicle speed and shows how POI360's FBCC keeps the stream usable
+// while mobility batters the uplink (the paper's §6.2 mobility field test).
+//
+//	go run ./examples/dronecockpit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"poi360"
+)
+
+func main() {
+	speeds := []struct {
+		mph   float64
+		rss   float64
+		label string
+	}{
+		{0, -73, "hovering / parked"},
+		{15, -80, "residential street"},
+		{30, -82, "urban road"},
+		{50, -60, "highway (open sky, strong signal)"},
+	}
+
+	fmt.Println("Virtual-cockpit link quality vs vehicle speed (90 s sessions, FBCC)")
+	fmt.Printf("%-34s %9s %9s %10s %8s\n", "condition", "PSNR", "freeze", "med delay", "Mbps")
+
+	for _, sp := range speeds {
+		cfg := poi360.SessionConfig{
+			Duration: 90 * time.Second,
+			Network:  poi360.Cellular,
+			Cell: poi360.CellProfile{
+				RSSdBm:         sp.rss,
+				BackgroundLoad: 0.15,
+				SpeedMph:       sp.mph,
+				Seed:           7,
+			},
+			Scheme: poi360.SchemeAdaptive,
+			RC:     poi360.RCFBCC,
+			Seed:   7,
+		}
+		cfg.User, _ = poi360.UserByName("curious") // the pilot looks around a lot
+
+		res, err := poi360.RunSession(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %6.1f dB %8.2f%% %7.0f ms %8.2f\n",
+			fmt.Sprintf("%s (%.0f mph)", sp.label, sp.mph),
+			res.PSNRSummary().Mean,
+			100*res.FreezeRatio(),
+			res.DelaySummary().Median,
+			res.ThroughputSummary().Mean/1e6)
+	}
+
+	fmt.Println("\nMobility adds fades and handover-like outages; FBCC's 400 ms")
+	fmt.Println("uplink congestion detection keeps freezes bounded where an")
+	fmt.Println("end-to-end controller would coast into the outage for seconds.")
+}

@@ -1,0 +1,71 @@
+// Roiexplorer: drive the three compression schemes with the same scripted
+// head motion and compare what the viewer sees frame by frame — the Fig. 3
+// ROI-mismatch story made tangible. The script holds a view, snaps 90° to
+// the side, then pans slowly back.
+//
+//	go run ./examples/roiexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"poi360"
+	"poi360/internal/headmotion"
+	"poi360/internal/projection"
+)
+
+func main() {
+	// Scripted viewer: dwell, a sudden 90° turn at t=20s, consecutive
+	// quick switches at t=35..38s, then a long dwell.
+	script := &headmotion.Scripted{Keys: []headmotion.Key{
+		{At: 0, Orientation: projection.Orientation{Yaw: 180}},
+		{At: 20 * time.Second, Orientation: projection.Orientation{Yaw: 270}},
+		{At: 35 * time.Second, Orientation: projection.Orientation{Yaw: 300}},
+		{At: 36 * time.Second, Orientation: projection.Orientation{Yaw: 330}},
+		{At: 37 * time.Second, Orientation: projection.Orientation{Yaw: 0}},
+		{At: 38 * time.Second, Orientation: projection.Orientation{Yaw: 30}},
+	}}
+
+	fmt.Println("Scripted ROI: hold @180°, snap to 270° (t=20s), rapid-fire switches (t=35–38s)")
+	fmt.Printf("%-8s %10s %10s %12s %14s\n", "scheme", "PSNR", "min PSNR", "freeze", "level std")
+
+	for _, sch := range []struct {
+		name string
+		kind func(*poi360.SessionConfig)
+	}{
+		{"POI360", func(c *poi360.SessionConfig) { c.Scheme = poi360.SchemeAdaptive }},
+		{"Conduit", func(c *poi360.SessionConfig) { c.Scheme = poi360.SchemeConduit }},
+		{"Pyramid", func(c *poi360.SessionConfig) { c.Scheme = poi360.SchemePyramid }},
+	} {
+		cfg := poi360.SessionConfig{
+			Duration:  60 * time.Second,
+			Network:   poi360.Cellular,
+			Cell:      poi360.CellCampus,
+			RC:        poi360.RCGCC,
+			UserModel: script,
+			Seed:      3,
+		}
+		sch.kind(&cfg)
+		res, err := poi360.RunSession(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := res.PSNRSummary()
+		stab := res.LevelStability()
+		var worst float64
+		for _, s := range stab {
+			if s > worst {
+				worst = s
+			}
+		}
+		fmt.Printf("%-8s %7.1f dB %7.1f dB %11.2f%% %14.2f\n",
+			sch.name, p.Mean, p.Min, 100*res.FreezeRatio(), worst)
+	}
+
+	fmt.Println("\nDuring the rapid switches the sender's ROI belief lags behind the")
+	fmt.Println("viewer. Conduit shows floor-quality tiles (deep PSNR dips and a")
+	fmt.Println("two-level oscillation); POI360 slides to a smoother mode and keeps")
+	fmt.Println("the dip shallow; Pyramid is smooth but pays bitrate for it always.")
+}

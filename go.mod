@@ -1,0 +1,3 @@
+module poi360
+
+go 1.22

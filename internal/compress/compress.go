@@ -1,0 +1,355 @@
+// Package compress implements POI360's ROI-based spatial compression
+// (§4.1–§4.2): the compression-mode family of Eq. 1, the client-side ROI
+// mismatch-time estimator of Eq. 2, the adaptive mode-switching controller
+// that is the paper's first contribution, and the two benchmark schemes it
+// is evaluated against — Conduit (aggressive crop) and Pyramid encoding
+// (fixed conservative distribution).
+package compress
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"poi360/internal/projection"
+)
+
+// LMin is the compression level of the ROI center: no spatial compression.
+const LMin = 1.0
+
+// LevelCap bounds any spatial compression level: a tile cannot shrink
+// below 1/LevelCap of its area (the prototype's "lowest possible quality",
+// §6.1.1 — below this there is nothing left to decode). It also sets the
+// floor quality: PSNR(32) lands in the Bad band of Table 1.
+const LevelCap = 32.0
+
+// lMinEps is the tolerance when testing whether a spatial level equals LMin.
+const lMinEps = 1e-9
+
+// Matrix holds per-tile compression levels, indexed by Grid.Index.
+type Matrix []float64
+
+// ModePlateau is the tile distance kept at LMin around the ROI center in
+// every Eq. 1 mode. The paper's Fig. 4 draws each mode's quality curve with
+// a flat top around the ROI center before the drop: the ROI the viewer
+// actually watches spans more than the single center tile, so the
+// immediate neighborhood is always delivered at full quality and C shapes
+// the fall-off beyond it.
+const ModePlateau = 1
+
+// ModeMatrix builds the compression matrix of Eq. 1 for ROI center roi:
+// l(i,j) = C^max(0, dx+dy−plateau), where dx is the cyclic column distance
+// (the panorama wraps in yaw) and dy the row distance. C > 1 controls
+// aggressiveness: larger C compresses distant tiles harder. Levels are
+// bounded by LevelCap.
+func ModeMatrix(g projection.Grid, roi projection.Tile, C float64) Matrix {
+	if C <= 1 {
+		panic(fmt.Sprintf("compress: mode constant C must exceed 1, got %g", C))
+	}
+	m := make(Matrix, g.Tiles())
+	for j := 0; j < g.H; j++ {
+		for i := 0; i < g.W; i++ {
+			t := projection.Tile{I: i, J: j}
+			dx, dy := g.Distance(t, roi)
+			d := dx + dy - ModePlateau
+			if d < 0 {
+				d = 0
+			}
+			m[g.Index(t)] = math.Min(LevelCap, math.Pow(C, float64(d)))
+		}
+	}
+	return m
+}
+
+// CompressedFraction returns the ratio of frame bits kept by the matrix
+// when tile raw bits are proportional to weights (pass nil for uniform).
+func (m Matrix) CompressedFraction(weights []float64) float64 {
+	var kept, total float64
+	for idx, l := range m {
+		w := 1.0
+		if weights != nil {
+			w = weights[idx]
+		}
+		kept += w / l
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	return kept / total
+}
+
+// Controller chooses the spatial compression matrix for each outgoing
+// frame, given the sender's current belief of the viewer ROI, and consumes
+// the ROI-mismatch feedback that drives adaptation.
+type Controller interface {
+	// Name identifies the scheme in traces and results.
+	Name() string
+	// Levels returns the matrix for the sender's ROI belief and an opaque
+	// mode label recorded in traces (the adaptive controller's mode index).
+	Levels(roi projection.Tile) (Matrix, int)
+	// ObserveMismatch feeds the latest window-averaged mismatch time M.
+	ObserveMismatch(m time.Duration)
+}
+
+// Adaptive is POI360's adaptive spatial compression (§4.2): K pre-defined
+// modes ordered by decreasing aggressiveness; the measured mismatch time M
+// selects the mode via im = clamp(ceil(M/Quantum), 1, K). (The paper prints
+// the selection as "max(8, ⌈M/200ms⌉)"; its surrounding text — 8 modes,
+// higher M ⇒ smoother quality drop — makes clear the index saturates at 8.)
+type Adaptive struct {
+	g       projection.Grid
+	cs      []float64 // cs[k] = C of mode k+1; decreasing
+	quantum time.Duration
+	mode    int // current 1-based mode index
+}
+
+// DefaultModeCs are the paper's 8 aggressiveness levels: C drawn from
+// {1.1, …, 1.8}, listed from most aggressive (mode 1, steepest) to most
+// conservative (mode 8, flattest).
+func DefaultModeCs() []float64 {
+	return []float64{1.8, 1.7, 1.6, 1.5, 1.4, 1.3, 1.2, 1.1}
+}
+
+// ModeQuantum is the mismatch-time width of one mode step (200 ms, §4.2).
+const ModeQuantum = 200 * time.Millisecond
+
+// NewAdaptive builds the POI360 controller with the paper's parameters.
+func NewAdaptive(g projection.Grid) *Adaptive {
+	return NewAdaptiveWith(g, DefaultModeCs(), ModeQuantum)
+}
+
+// NewAdaptiveWith builds an adaptive controller with custom modes (ordered
+// most-aggressive first) and mode quantum, for ablations.
+func NewAdaptiveWith(g projection.Grid, cs []float64, quantum time.Duration) *Adaptive {
+	if len(cs) == 0 {
+		panic("compress: adaptive controller needs at least one mode")
+	}
+	for i, c := range cs {
+		if c <= 1 {
+			panic(fmt.Sprintf("compress: mode %d constant %g must exceed 1", i+1, c))
+		}
+		if i > 0 && cs[i] >= cs[i-1] {
+			panic("compress: modes must be ordered by decreasing aggressiveness (decreasing C)")
+		}
+	}
+	if quantum <= 0 {
+		panic("compress: mode quantum must be positive")
+	}
+	return &Adaptive{g: g, cs: cs, quantum: quantum, mode: 1}
+}
+
+// Name implements Controller.
+func (a *Adaptive) Name() string { return "POI360" }
+
+// Mode reports the current 1-based mode index.
+func (a *Adaptive) Mode() int { return a.mode }
+
+// ModeC reports the C constant of the current mode.
+func (a *Adaptive) ModeC() float64 { return a.cs[a.mode-1] }
+
+// Levels implements Controller.
+func (a *Adaptive) Levels(roi projection.Tile) (Matrix, int) {
+	return ModeMatrix(a.g, roi, a.ModeC()), a.mode
+}
+
+// ObserveMismatch implements Controller: selects the compression mode from
+// the measured mismatch time.
+func (a *Adaptive) ObserveMismatch(m time.Duration) {
+	im := int(math.Ceil(float64(m) / float64(a.quantum)))
+	if im < 1 {
+		im = 1
+	}
+	if im > len(a.cs) {
+		im = len(a.cs)
+	}
+	a.mode = im
+}
+
+// Conduit is the aggressive benchmark [1 in the paper]: it crops the ROI
+// region — the ROI tile plus a CropRing-wide neighborhood — and streams
+// only that; to avoid blank regions the evaluation still sends non-ROI
+// tiles at the lowest possible quality (§6.1.1). Two levels only.
+type Conduit struct {
+	g      projection.Grid
+	ring   int
+	nonROI float64
+}
+
+// ConduitCropRing is how many tile rings around the ROI tile the crop
+// keeps at full quality. 0 means the crop is exactly the reported ROI
+// region with no margin — any ROI shift beyond the tile immediately shows
+// floor-quality content. This is the paper's Fig. 4 "sharp quality drop"
+// curve and reproduces its observation that Conduit "only has 2
+// compression levels, thus ROI shifting triggers unacceptable video
+// quality oscillation between the high/low levels" (§6.1.1).
+const ConduitCropRing = 0
+
+// ConduitNonROILevel is the "lowest possible quality" level for cropped-out
+// tiles: the spatial level cap, whose PSNR lands in the Bad band.
+const ConduitNonROILevel = LevelCap
+
+// NewConduit builds the Conduit benchmark controller.
+func NewConduit(g projection.Grid) *Conduit {
+	return &Conduit{g: g, ring: ConduitCropRing, nonROI: ConduitNonROILevel}
+}
+
+// Name implements Controller.
+func (c *Conduit) Name() string { return "Conduit" }
+
+// Levels implements Controller: the cropped ROI region at LMin, everything
+// else at the floor quality.
+func (c *Conduit) Levels(roi projection.Tile) (Matrix, int) {
+	m := make(Matrix, c.g.Tiles())
+	for j := 0; j < c.g.H; j++ {
+		for i := 0; i < c.g.W; i++ {
+			t := projection.Tile{I: i, J: j}
+			dx, dy := c.g.Distance(t, roi)
+			if dx <= c.ring && dy <= c.ring {
+				m[c.g.Index(t)] = LMin
+			} else {
+				m[c.g.Index(t)] = c.nonROI
+			}
+		}
+	}
+	return m, 0
+}
+
+// ObserveMismatch implements Controller; Conduit never adapts (§6.1.1:
+// "incapable of dynamically adapting the compression modes").
+func (c *Conduit) ObserveMismatch(time.Duration) {}
+
+// Pyramid is the conservative benchmark [7 in the paper]: the frame is
+// centered at the ROI with quality decaying smoothly toward the corners —
+// a fixed Eq. 1 mode with a small C, never adapted.
+type Pyramid struct {
+	g projection.Grid
+	c float64
+}
+
+// PyramidC is the fixed smooth-decay constant of the Pyramid benchmark,
+// chosen at the conservative end of the mode family.
+const PyramidC = 1.2
+
+// NewPyramid builds the Pyramid benchmark controller.
+func NewPyramid(g projection.Grid) *Pyramid { return &Pyramid{g: g, c: PyramidC} }
+
+// Name implements Controller.
+func (p *Pyramid) Name() string { return "Pyramid" }
+
+// Levels implements Controller.
+func (p *Pyramid) Levels(roi projection.Tile) (Matrix, int) {
+	return ModeMatrix(p.g, roi, p.c), 0
+}
+
+// ObserveMismatch implements Controller; Pyramid never adapts.
+func (p *Pyramid) ObserveMismatch(time.Duration) {}
+
+// Fixed pins one Eq. 1 mode forever — the no-mode-switch ablation.
+type Fixed struct {
+	g    projection.Grid
+	c    float64
+	name string
+}
+
+// NewFixed builds a non-adaptive controller using constant C.
+func NewFixed(g projection.Grid, c float64) *Fixed {
+	if c <= 1 {
+		panic(fmt.Sprintf("compress: fixed C %g must exceed 1", c))
+	}
+	return &Fixed{g: g, c: c, name: fmt.Sprintf("Fixed(C=%.2f)", c)}
+}
+
+// Name implements Controller.
+func (f *Fixed) Name() string { return f.name }
+
+// Levels implements Controller.
+func (f *Fixed) Levels(roi projection.Tile) (Matrix, int) {
+	return ModeMatrix(f.g, roi, f.c), 0
+}
+
+// ObserveMismatch implements Controller.
+func (f *Fixed) ObserveMismatch(time.Duration) {}
+
+// MismatchEstimator measures the ROI mismatch time M at the client per
+// Eq. 2 and maintains the sliding-window average that is fed back to the
+// sender every frame interval (§4.2).
+type MismatchEstimator struct {
+	g      projection.Grid
+	window time.Duration
+
+	samples []struct {
+		at time.Duration
+		m  time.Duration
+	}
+
+	init     bool
+	lastTile projection.Tile
+	pending  bool
+	t0       time.Duration
+}
+
+// NewMismatchEstimator creates an estimator averaging M over window.
+func NewMismatchEstimator(g projection.Grid, window time.Duration) *MismatchEstimator {
+	if window <= 0 {
+		panic("compress: mismatch window must be positive")
+	}
+	return &MismatchEstimator{g: g, window: window}
+}
+
+// Observe processes one received frame: now is the arrival time, actualROI
+// the client's current ROI tile, spatialLevelAtROI the *spatial* (scale-
+// removed) compression level the frame carries at that tile, and frameDelay
+// the frame's one-way delay dv. It returns the window-averaged M.
+func (e *MismatchEstimator) Observe(now time.Duration, actualROI projection.Tile, spatialLevelAtROI float64, frameDelay time.Duration) time.Duration {
+	if !e.init {
+		e.init = true
+		e.lastTile = actualROI
+	}
+	if actualROI != e.lastTile {
+		// The user moved: start (or restart, for consecutive switches)
+		// counting the mismatch interval.
+		e.t0 = now
+		e.pending = true
+		e.lastTile = actualROI
+	}
+
+	var m time.Duration
+	matched := spatialLevelAtROI <= LMin+lMinEps
+	switch {
+	case matched:
+		// Quality in the (possibly new) ROI has converged to the highest
+		// level: only the floor dv remains (Eq. 2, second case).
+		e.pending = false
+		m = frameDelay
+	case e.pending:
+		m = now - e.t0
+		if m < frameDelay {
+			m = frameDelay
+		}
+	default:
+		// Low quality at the ROI without an observed tile switch means the
+		// sender's belief diverged anyway (e.g. feedback loss): count from
+		// now on.
+		e.t0 = now
+		e.pending = true
+		m = frameDelay
+	}
+
+	e.samples = append(e.samples, struct {
+		at time.Duration
+		m  time.Duration
+	}{now, m})
+	// Evict samples older than the window.
+	cut := 0
+	for cut < len(e.samples) && now-e.samples[cut].at > e.window {
+		cut++
+	}
+	e.samples = e.samples[cut:]
+
+	var sum time.Duration
+	for _, s := range e.samples {
+		sum += s.m
+	}
+	return sum / time.Duration(len(e.samples))
+}

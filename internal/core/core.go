@@ -1,0 +1,49 @@
+// Package core gathers the paper's two contributions behind one import:
+// the adaptive spatial compression controller of §4.2 (implemented in
+// internal/compress) and the Firmware-Buffer-aware Congestion Control of
+// §4.3 (implemented in internal/ratecontrol). Everything else in the
+// repository is substrate — the LTE uplink, network path, video pipeline
+// and session wiring those controllers are evaluated on.
+package core
+
+import (
+	"time"
+
+	"poi360/internal/compress"
+	"poi360/internal/projection"
+	"poi360/internal/ratecontrol"
+)
+
+// AdaptiveCompression is POI360's §4.2 controller: K pre-defined Eq. 1
+// compression modes selected by the measured ROI mismatch time.
+type AdaptiveCompression = compress.Adaptive
+
+// NewAdaptiveCompression builds the controller with the paper's parameters
+// (8 modes, C ∈ {1.1…1.8}, 200 ms mode quantum).
+func NewAdaptiveCompression(g projection.Grid) *AdaptiveCompression {
+	return compress.NewAdaptive(g)
+}
+
+// MismatchEstimator measures the client-side ROI mismatch time M (Eq. 2).
+type MismatchEstimator = compress.MismatchEstimator
+
+// NewMismatchEstimator creates the Eq. 2 estimator with the given sliding
+// averaging window.
+func NewMismatchEstimator(g projection.Grid, window time.Duration) *MismatchEstimator {
+	return compress.NewMismatchEstimator(g, window)
+}
+
+// FBCC is POI360's §4.3 Firmware-Buffer-aware Congestion Control.
+type FBCC = ratecontrol.FBCC
+
+// FBCCConfig parameterizes FBCC; see DefaultFBCCConfig for the paper's
+// values (K=10, 2-RTT hold, sweet-spot pacing).
+type FBCCConfig = ratecontrol.FBCCConfig
+
+// NewFBCC builds an FBCC controller.
+func NewFBCC(cfg FBCCConfig) (*FBCC, error) { return ratecontrol.NewFBCC(cfg) }
+
+// DefaultFBCCConfig returns the paper's FBCC parameters for a nominal RTT.
+func DefaultFBCCConfig(rtt time.Duration) FBCCConfig {
+	return ratecontrol.DefaultFBCCConfig(rtt)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"poi360/internal/lte"
+	"poi360/internal/projection"
+)
+
+func TestAdaptiveCompressionExported(t *testing.T) {
+	a := NewAdaptiveCompression(projection.DefaultGrid)
+	if a.Name() != "POI360" {
+		t.Fatal("wrong controller")
+	}
+	a.ObserveMismatch(900 * time.Millisecond)
+	if a.Mode() != 5 {
+		t.Fatalf("mode = %d, want 5 for M=900ms", a.Mode())
+	}
+}
+
+func TestMismatchEstimatorExported(t *testing.T) {
+	e := NewMismatchEstimator(projection.DefaultGrid, time.Second)
+	m := e.Observe(0, projection.Tile{I: 1, J: 1}, 1.0, 80*time.Millisecond)
+	if m != 80*time.Millisecond {
+		t.Fatalf("M = %v", m)
+	}
+}
+
+func TestFBCCExported(t *testing.T) {
+	f, err := NewFBCC(DefaultFBCCConfig(120 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.OnDiag(lte.DiagReport{At: 40 * time.Millisecond, BufferBytes: 1000, SumTBSBits: 1e5, Subframes: 40})
+	if f.BandwidthEstimate() <= 0 {
+		t.Fatal("bandwidth estimate missing")
+	}
+	if err := DefaultFBCCConfig(0).Validate(); err == nil {
+		t.Fatal("zero RTT config validated")
+	}
+}

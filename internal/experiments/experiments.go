@@ -1,0 +1,232 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment runs the same workloads the paper uses —
+// multi-user telephony sessions over the simulated LTE uplink or the
+// wireline baseline — and prints the rows/series the corresponding figure
+// reports, together with the paper's own numbers for comparison.
+//
+// Absolute values are not expected to match (the substrate is a calibrated
+// simulator, not the authors' testbed); the shapes — who wins, by roughly
+// what factor, where the crossovers fall — are the reproduction target and
+// are recorded per experiment in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"poi360/internal/metrics"
+	"poi360/internal/session"
+	"poi360/internal/trace"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks sessions so the whole suite runs in seconds (used by
+	// unit tests and -short benches). Full scale mimics the paper's 5-user
+	// × repeated-session methodology.
+	Quick bool
+	// Seed offsets every session seed, for repeat-run variance studies.
+	Seed int64
+	// SessionTime overrides the per-session duration (0 = scale default).
+	SessionTime time.Duration
+	// Users overrides how many of the 5 user profiles run (0 = default).
+	Users int
+	// Repeats overrides per-user session repetitions (0 = default).
+	Repeats int
+	// Progress, when non-nil, receives one line per completed session.
+	Progress io.Writer
+}
+
+func (o Options) sessionTime() time.Duration {
+	if o.SessionTime > 0 {
+		return o.SessionTime
+	}
+	if o.Quick {
+		return 60 * time.Second
+	}
+	return 150 * time.Second
+}
+
+func (o Options) users() int {
+	if o.Users > 0 {
+		if o.Users > 5 {
+			return 5
+		}
+		return o.Users
+	}
+	if o.Quick {
+		return 2
+	}
+	return 5
+}
+
+func (o Options) repeats() int {
+	if o.Repeats > 0 {
+		return o.Repeats
+	}
+	if o.Quick {
+		return 1
+	}
+	return 2
+}
+
+func (o Options) progressf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	Tables []*trace.Table
+	Series []trace.Series
+	// Measured exposes the headline numbers for tests and EXPERIMENTS.md.
+	Measured map[string]float64
+}
+
+func newReport() *Report { return &Report{Measured: map[string]float64{}} }
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the original figure shows, for side-by-side
+	// comparison in the printed output.
+	Paper string
+	Run   func(Options) (*Report, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Fig05, Fig06, Table1,
+		Fig11, Fig12, Fig13, Fig14,
+		Fig15, Fig16a, Fig16b,
+		Fig17ab, Fig17cd, Fig17ef,
+		AblationNoModeSwitch, AblationFBCCK, AblationNoRTPLoop, AblationHold,
+		ExtPrediction, ExtEdgeRelay,
+	}
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// sessionAgg aggregates the per-frame metrics of a batch of sessions.
+type sessionAgg struct {
+	PSNRs      []float64
+	DelaysMs   []float64
+	Stab       []float64 // per-frame 2 s-window std of ROI level
+	Throughput []float64 // per-second received bits/s
+	Mismatch   []float64 // seconds
+	Freezes    float64   // weighted freeze ratio
+	frames     int
+	Diag       []session.DiagSample
+	Sessions   int
+	Overuses   int
+}
+
+func (a *sessionAgg) fold(res *session.Result) {
+	a.PSNRs = append(a.PSNRs, res.ROIPSNRs...)
+	for _, d := range res.FrameDelays {
+		a.DelaysMs = append(a.DelaysMs, float64(d)/float64(time.Millisecond))
+	}
+	a.Stab = append(a.Stab, res.LevelStability()...)
+	a.Throughput = append(a.Throughput, res.Throughput...)
+	for _, m := range res.Mismatch {
+		a.Mismatch = append(a.Mismatch, m.V)
+	}
+	n := len(res.FrameDelays) + res.FramesLost
+	a.Freezes += res.FreezeRatio() * float64(n)
+	a.frames += n
+	a.Diag = append(a.Diag, res.Diag...)
+	a.Sessions++
+	a.Overuses += res.FBCCOveruses
+}
+
+// FreezeRatio is the frame-weighted freeze ratio across sessions.
+func (a *sessionAgg) FreezeRatio() float64 {
+	if a.frames == 0 {
+		return 0
+	}
+	return a.Freezes / float64(a.frames)
+}
+
+// PSNR summarizes ROI PSNR across all sessions.
+func (a *sessionAgg) PSNR() metrics.Summary { return metrics.Summarize(a.PSNRs) }
+
+// MOSPDF is the MOS distribution across all sessions.
+func (a *sessionAgg) MOSPDF() [5]float64 { return metrics.MOSPDF(a.PSNRs) }
+
+// Delay summarizes frame delays in ms.
+func (a *sessionAgg) Delay() metrics.Summary { return metrics.Summarize(a.DelaysMs) }
+
+// Stability summarizes the Fig. 12 window-std metric.
+func (a *sessionAgg) Stability() metrics.Summary { return metrics.Summarize(a.Stab) }
+
+// runBatch runs users × repeats sessions derived from base (Seed and User
+// varied) and aggregates them.
+func runBatch(o Options, base session.Config) (*sessionAgg, error) {
+	agg := &sessionAgg{}
+	base.Duration = o.sessionTime()
+	// Skip the rate controller's start-up ramp (and the backlog it leaves)
+	// so batches measure steady state, like the paper's 5-minute sessions.
+	base.StatsWarmup = 15 * time.Second
+	for u := 0; u < o.users(); u++ {
+		for r := 0; r < o.repeats(); r++ {
+			cfg := base
+			cfg.User = userProfile(u)
+			cfg.Seed = o.Seed + int64(u*1000+r*37+1)
+			res, err := session.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			agg.fold(res)
+			o.progressf("  %s/%s user=%s rep=%d: PSNR %.1f dB, FR %.2f%%\n",
+				cfg.Scheme, cfg.Network, cfg.User.Name, r,
+				res.PSNRSummary().Mean, 100*res.FreezeRatio())
+		}
+	}
+	return agg, nil
+}
+
+// cdfSeries converts samples into an empirical CDF curve, downsampled to at
+// most 200 points.
+func cdfSeries(name string, samples []float64) trace.Series {
+	s := trace.Series{Name: name}
+	pts := metrics.CDF(samples)
+	if len(pts) == 0 {
+		return s
+	}
+	step := len(pts)/200 + 1
+	for i := 0; i < len(pts); i += step {
+		s.Append(pts[i].X, pts[i].P)
+	}
+	last := pts[len(pts)-1]
+	s.Append(last.X, last.P)
+	return s
+}
+
+// sortedCopy returns an ascending copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	return c
+}
+
+func mosRow(pdf [5]float64) []string {
+	out := make([]string, 5)
+	for i, p := range pdf {
+		out[i] = trace.Pct(p)
+	}
+	return out
+}

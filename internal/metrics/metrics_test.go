@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMOSForPSNRTable1(t *testing.T) {
+	cases := []struct {
+		psnr float64
+		want MOS
+	}{
+		{40, Excellent}, {37.01, Excellent},
+		{37, Good}, {35, Good}, {31.01, Good},
+		{31, Fair}, {28, Fair}, {25.01, Fair},
+		{25, Poor}, {22, Poor}, {20, Poor},
+		{19.99, Bad}, {5, Bad},
+	}
+	for _, c := range cases {
+		if got := MOSForPSNR(c.psnr); got != c.want {
+			t.Errorf("MOSForPSNR(%v) = %v, want %v", c.psnr, got, c.want)
+		}
+	}
+}
+
+func TestMOSString(t *testing.T) {
+	if Excellent.String() != "Excellent" || Bad.String() != "Bad" {
+		t.Fatal("MOS names wrong")
+	}
+	if MOS(42).String() != "MOS(42)" {
+		t.Fatal("out-of-range MOS formatting")
+	}
+}
+
+func TestMOSPDFSumsToOne(t *testing.T) {
+	pdf := MOSPDF([]float64{40, 35, 28, 22, 10, 39})
+	sum := 0.0
+	for _, p := range pdf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("PDF sums to %v", sum)
+	}
+	if pdf[Excellent] != 2.0/6 || pdf[Bad] != 1.0/6 {
+		t.Fatalf("pdf = %v", pdf)
+	}
+}
+
+func TestMOSPDFEmpty(t *testing.T) {
+	if MOSPDF(nil) != [5]float64{} {
+		t.Fatal("empty PDF not zero")
+	}
+}
+
+func TestFreezeRatio(t *testing.T) {
+	d := []time.Duration{100 * time.Millisecond, 700 * time.Millisecond, 601 * time.Millisecond, 600 * time.Millisecond}
+	if got := FreezeRatio(d, FreezeThreshold); got != 0.5 {
+		t.Fatalf("FreezeRatio = %v, want 0.5", got)
+	}
+	if FreezeRatio(nil, FreezeThreshold) != 0 {
+		t.Fatal("empty freeze ratio not 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("%+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if Percentile(s, 0) != 10 || Percentile(s, 1) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(s, 0.5); got != 25 {
+		t.Fatalf("P50 = %v, want 25", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatal("len")
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].P-1.0/3) > 1e-12 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Fatalf("last point %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CDFAt(xs, 2.5); got != 0.5 {
+		t.Fatalf("CDFAt = %v", got)
+	}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Fatalf("CDFAt below min = %v", got)
+	}
+	if !math.IsNaN(CDFAt(nil, 1)) {
+		t.Fatal("empty CDFAt should be NaN")
+	}
+}
+
+func TestWindowStdConstantIsZero(t *testing.T) {
+	var samples []TimedSample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, TimedSample{At: time.Duration(i) * 33 * time.Millisecond, V: 7})
+	}
+	for i, s := range WindowStd(samples, 2*time.Second) {
+		if s != 0 {
+			t.Fatalf("sample %d std %v", i, s)
+		}
+	}
+}
+
+func TestWindowStdDetectsOscillation(t *testing.T) {
+	var flat, osc []TimedSample
+	for i := 0; i < 300; i++ {
+		at := time.Duration(i) * 33 * time.Millisecond
+		flat = append(flat, TimedSample{At: at, V: 1})
+		v := 1.0
+		if i%2 == 0 {
+			v = 9
+		}
+		osc = append(osc, TimedSample{At: at, V: v})
+	}
+	sf := Summarize(WindowStd(flat, 2*time.Second))
+	so := Summarize(WindowStd(osc, 2*time.Second))
+	if so.Mean <= sf.Mean+1 {
+		t.Fatalf("oscillating std %v should dwarf flat %v", so.Mean, sf.Mean)
+	}
+}
+
+func TestWindowStdRespectsWindow(t *testing.T) {
+	// A single early spike must leave the window after 2 s.
+	samples := []TimedSample{{At: 0, V: 100}}
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, TimedSample{At: time.Duration(i) * 100 * time.Millisecond, V: 1})
+	}
+	out := WindowStd(samples, 2*time.Second)
+	if out[10] == 0 { // t=1s: spike still in window
+		t.Fatal("spike should still be in the 2s window at t=1s")
+	}
+	if out[50] != 0 { // t=5s: window is all ones
+		t.Fatalf("window std at t=5s = %v, want 0", out[50])
+	}
+}
+
+func TestRunningMatchesSummarize(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		clean := xs[:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		for _, x := range clean {
+			r.Add(x)
+		}
+		if len(clean) == 0 {
+			return r.N() == 0
+		}
+		s := Summarize(clean)
+		scale := math.Max(1, math.Abs(s.Mean))
+		return math.Abs(r.Mean()-s.Mean)/scale < 1e-6 &&
+			math.Abs(r.Std()-s.Std)/math.Max(1, s.Std) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Add(10) != 10 {
+		t.Fatal("first sample should seed")
+	}
+	if got := e.Add(20); got != 15 {
+		t.Fatalf("EWMA = %v, want 15", got)
+	}
+	if e.Value() != 15 {
+		t.Fatal("Value mismatch")
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7, 2}
+	s := Summarize(xs)
+	if !(s.P10 <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.P90 && s.P90 <= s.P99) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}

@@ -1,0 +1,322 @@
+// Package netsim composes the end-to-end network path of a POI360 session
+// beyond the LTE uplink: core-network propagation with jitter and latency
+// spikes, rate-limited droptail queues (wireline bottlenecks, congested
+// middle segments), cross traffic, and the reverse path that carries ROI and
+// congestion feedback. It provides two ready transports — cellular (LTE
+// uplink bottleneck, the paper's main scenario) and wireline (the campus
+// baseline used for comparison in §6.1).
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"poi360/internal/lte"
+	"poi360/internal/simclock"
+)
+
+// DelayLink delivers messages after a stochastic one-way delay while
+// preserving FIFO order (a later send never overtakes an earlier one).
+type DelayLink struct {
+	clk       *simclock.Clock
+	rng       *rand.Rand
+	base      time.Duration
+	jitterStd time.Duration
+	spikeProb float64
+	spikeMax  time.Duration
+	deliver   func(any)
+	lastOut   time.Duration
+}
+
+// NewDelayLink creates a link with the given delay distribution; deliver is
+// invoked on the simulation goroutine when a message arrives.
+func NewDelayLink(clk *simclock.Clock, seed int64, base, jitterStd time.Duration, spikeProb float64, spikeMax time.Duration, deliver func(any)) *DelayLink {
+	return &DelayLink{
+		clk:       clk,
+		rng:       rand.New(rand.NewSource(seed)),
+		base:      base,
+		jitterStd: jitterStd,
+		spikeProb: spikeProb,
+		spikeMax:  spikeMax,
+		deliver:   deliver,
+	}
+}
+
+// Send schedules delivery of payload after a sampled delay.
+func (l *DelayLink) Send(payload any) {
+	d := l.base + time.Duration(l.rng.NormFloat64()*float64(l.jitterStd))
+	if l.spikeProb > 0 && l.rng.Float64() < l.spikeProb {
+		d += time.Duration(l.rng.Float64() * float64(l.spikeMax))
+	}
+	if d < 0 {
+		d = 0
+	}
+	out := l.clk.Now() + d
+	if out < l.lastOut {
+		out = l.lastOut // FIFO: no overtaking
+	}
+	l.lastOut = out
+	l.clk.Schedule(out, func() { l.deliver(payload) })
+}
+
+// Queue is a rate-limited droptail FIFO: the standard fluid model of a
+// bottleneck link with a finite buffer.
+type Queue struct {
+	clk       *simclock.Clock
+	rateBps   float64
+	capBytes  int
+	deliver   func(any)
+	busyUntil time.Duration
+	bytes     int
+	dropped   int64
+}
+
+// NewQueue creates a bottleneck of rateBps with capBytes of buffering.
+func NewQueue(clk *simclock.Clock, rateBps float64, capBytes int, deliver func(any)) *Queue {
+	if rateBps <= 0 || capBytes <= 0 {
+		panic(fmt.Sprintf("netsim: invalid queue rate=%g cap=%d", rateBps, capBytes))
+	}
+	return &Queue{clk: clk, rateBps: rateBps, capBytes: capBytes, deliver: deliver}
+}
+
+// Send enqueues a message of the given wire size; it reports false when the
+// buffer is full and the message is dropped.
+func (q *Queue) Send(bytes int, payload any) bool {
+	if q.bytes+bytes > q.capBytes {
+		q.dropped++
+		return false
+	}
+	q.bytes += bytes
+	start := q.clk.Now()
+	if q.busyUntil > start {
+		start = q.busyUntil
+	}
+	finish := start + time.Duration(float64(bytes)*8/q.rateBps*float64(time.Second))
+	q.busyUntil = finish
+	q.clk.Schedule(finish, func() {
+		q.bytes -= bytes
+		if q.deliver != nil {
+			q.deliver(payload)
+		}
+	})
+	return true
+}
+
+// Bytes reports the current queue occupancy.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Dropped reports messages rejected at the buffer cap.
+func (q *Queue) Dropped() int64 { return q.dropped }
+
+// Delay reports the queueing delay a message sent now would experience.
+func (q *Queue) Delay() time.Duration {
+	d := q.busyUntil - q.clk.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// SetRate changes the bottleneck rate for traffic enqueued from now on.
+func (q *Queue) SetRate(rateBps float64) {
+	if rateBps <= 0 {
+		panic("netsim: queue rate must be positive")
+	}
+	q.rateBps = rateBps
+}
+
+// CrossTraffic injects bursty competing load into a Queue: alternating
+// on-periods (packets at Rate) and off-periods, both exponential.
+type CrossTraffic struct {
+	clk     *simclock.Clock
+	rng     *rand.Rand
+	q       *Queue
+	rateBps float64
+	meanOn  time.Duration
+	meanOff time.Duration
+	on      bool
+}
+
+// NewCrossTraffic starts an on/off source into q. A zero meanOff keeps the
+// source always on.
+func NewCrossTraffic(clk *simclock.Clock, seed int64, q *Queue, rateBps float64, meanOn, meanOff time.Duration) *CrossTraffic {
+	ct := &CrossTraffic{
+		clk:     clk,
+		rng:     rand.New(rand.NewSource(seed)),
+		q:       q,
+		rateBps: rateBps,
+		meanOn:  meanOn,
+		meanOff: meanOff,
+	}
+	ct.on = true
+	ct.scheduleFlip()
+	clk.Ticker(5*time.Millisecond, ct.emit)
+	return ct
+}
+
+func (ct *CrossTraffic) scheduleFlip() {
+	var mean time.Duration
+	if ct.on {
+		mean = ct.meanOn
+	} else {
+		mean = ct.meanOff
+	}
+	if mean <= 0 {
+		return // never flips
+	}
+	d := time.Duration(ct.rng.ExpFloat64() * float64(mean))
+	ct.clk.ScheduleAfter(d, func() {
+		ct.on = !ct.on
+		ct.scheduleFlip()
+	})
+}
+
+func (ct *CrossTraffic) emit() {
+	if !ct.on {
+		return
+	}
+	bytes := int(ct.rateBps * 0.005 / 8)
+	if bytes > 0 {
+		ct.q.Send(bytes, nil)
+	}
+}
+
+// PathProfile describes the wide-area segments of a session path.
+type PathProfile struct {
+	Name string
+	// Forward core-network one-way delay (after the access bottleneck).
+	CoreBase      time.Duration
+	CoreJitterStd time.Duration
+	CoreSpikeProb float64
+	CoreSpikeMax  time.Duration
+	// Reverse path carrying ROI/M/GCC feedback to the sender.
+	RevBase      time.Duration
+	RevJitterStd time.Duration
+	RevSpikeProb float64
+	RevSpikeMax  time.Duration
+}
+
+// CellularPath reflects the paper's LTE measurements: long, unstable RTT
+// with occasional latency spikes (§3.1 cites [46]).
+var CellularPath = PathProfile{
+	Name:          "cellular",
+	CoreBase:      35 * time.Millisecond,
+	CoreJitterStd: 10 * time.Millisecond,
+	CoreSpikeProb: 0.0004,
+	CoreSpikeMax:  250 * time.Millisecond,
+	RevBase:       80 * time.Millisecond,
+	RevJitterStd:  25 * time.Millisecond,
+	RevSpikeProb:  0.003,
+	RevSpikeMax:   300 * time.Millisecond,
+}
+
+// WirelinePath reflects the campus wireline baseline: short stable RTT.
+var WirelinePath = PathProfile{
+	Name:          "wireline",
+	CoreBase:      9 * time.Millisecond,
+	CoreJitterStd: 1500 * time.Microsecond,
+	CoreSpikeProb: 0.0005,
+	CoreSpikeMax:  30 * time.Millisecond,
+	RevBase:       9 * time.Millisecond,
+	RevJitterStd:  1500 * time.Microsecond,
+	RevSpikeProb:  0.0005,
+	RevSpikeMax:   30 * time.Millisecond,
+}
+
+// NominalRTT returns the no-load round-trip estimate for the profile, used
+// by FBCC's 2-RTT hold (Eq. 6).
+func (p PathProfile) NominalRTT() time.Duration { return p.CoreBase + p.RevBase }
+
+// Transport is what a session sees of the network: a forward media path, a
+// reverse feedback path, and (on cellular) the modem diagnostics.
+type Transport interface {
+	// Send puts a media packet of the given wire size on the forward path;
+	// false reports an access-buffer drop.
+	Send(bytes int, payload any) bool
+	// SendFeedback carries a small message from receiver to sender.
+	SendFeedback(payload any)
+	// AccessBufferBytes reports the sender-side access-link queue (the LTE
+	// firmware buffer, or the wireline access queue).
+	AccessBufferBytes() int
+	// SetDiagListener registers the LTE diag consumer. On transports
+	// without modem diagnostics it never fires.
+	SetDiagListener(func(lte.DiagReport))
+}
+
+// Cellular is the paper's main transport: LTE uplink bottleneck followed by
+// the core network.
+type Cellular struct {
+	Uplink *lte.Uplink
+	core   *DelayLink
+	rev    *DelayLink
+}
+
+// NewCellular wires an LTE uplink into a core-network path. deliverFwd
+// receives media packet payloads at the far end; deliverRev receives
+// feedback payloads at the sender.
+func NewCellular(clk *simclock.Clock, lteCfg lte.Config, prof PathProfile, deliverFwd, deliverRev func(any)) (*Cellular, error) {
+	c := &Cellular{}
+	c.core = NewDelayLink(clk, lteCfg.Profile.Seed+101, prof.CoreBase, prof.CoreJitterStd, prof.CoreSpikeProb, prof.CoreSpikeMax, deliverFwd)
+	ul, err := lte.NewUplink(clk, lteCfg, func(p lte.Packet) { c.core.Send(p.Payload) })
+	if err != nil {
+		return nil, err
+	}
+	c.Uplink = ul
+	c.rev = NewDelayLink(clk, lteCfg.Profile.Seed+202, prof.RevBase, prof.RevJitterStd, prof.RevSpikeProb, prof.RevSpikeMax, deliverRev)
+	ul.Start()
+	return c, nil
+}
+
+// Send implements Transport.
+func (c *Cellular) Send(bytes int, payload any) bool {
+	return c.Uplink.Enqueue(lte.Packet{Bytes: bytes, Payload: payload})
+}
+
+// SendFeedback implements Transport.
+func (c *Cellular) SendFeedback(payload any) { c.rev.Send(payload) }
+
+// AccessBufferBytes implements Transport.
+func (c *Cellular) AccessBufferBytes() int { return c.Uplink.BufferBytes() }
+
+// SetDiagListener implements Transport.
+func (c *Cellular) SetDiagListener(fn func(lte.DiagReport)) { c.Uplink.SetDiagListener(fn) }
+
+// Wireline is the campus-network baseline: a fat, stable access bottleneck.
+type Wireline struct {
+	q    *Queue
+	core *DelayLink
+	rev  *DelayLink
+}
+
+// WirelineRate is the access bottleneck of the wireline baseline. Well
+// above the raw 360° stream rate, as on the paper's campus network.
+const WirelineRate = 20e6
+
+// NewWireline builds the wireline transport.
+func NewWireline(clk *simclock.Clock, seed int64, prof PathProfile, deliverFwd, deliverRev func(any)) *Wireline {
+	w := &Wireline{}
+	w.core = NewDelayLink(clk, seed+101, prof.CoreBase, prof.CoreJitterStd, prof.CoreSpikeProb, prof.CoreSpikeMax, deliverFwd)
+	w.q = NewQueue(clk, WirelineRate, 256*1024, func(p any) { w.core.Send(p) })
+	w.rev = NewDelayLink(clk, seed+202, prof.RevBase, prof.RevJitterStd, prof.RevSpikeProb, prof.RevSpikeMax, deliverRev)
+	return w
+}
+
+// Send implements Transport.
+func (w *Wireline) Send(bytes int, payload any) bool { return w.q.Send(bytes, payload) }
+
+// SendFeedback implements Transport.
+func (w *Wireline) SendFeedback(payload any) { w.rev.Send(payload) }
+
+// AccessBufferBytes implements Transport.
+func (w *Wireline) AccessBufferBytes() int { return w.q.Bytes() }
+
+// SetDiagListener implements Transport; wireline has no modem, so the
+// listener never fires and FBCC degrades to its embedded GCC (§4.3.1,
+// "handling congestion elsewhere").
+func (w *Wireline) SetDiagListener(func(lte.DiagReport)) {}
+
+var (
+	_ Transport = (*Cellular)(nil)
+	_ Transport = (*Wireline)(nil)
+)

@@ -1,0 +1,190 @@
+// Package projection implements the equirectangular geometry that underlies
+// POI360's tile-based compression: mapping head orientations to tiles in a
+// W×H tile grid, cyclic tile distances (the panorama wraps around in yaw),
+// field-of-view coverage, and per-latitude area weights.
+//
+// Conventions: yaw is in degrees in [0, 360) increasing eastwards; pitch is
+// in degrees in [-90, +90] with +90 at the zenith. Tile (0,0) is the
+// north-west corner of the equirectangular frame (yaw 0, pitch +90).
+package projection
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid describes the tile layout of an equirectangular 360° frame.
+// The POI360 prototype uses 12×8 (§5).
+type Grid struct {
+	W int // tiles along yaw (x)
+	H int // tiles along pitch (y)
+}
+
+// DefaultGrid is the 12×8 layout used throughout the paper.
+var DefaultGrid = Grid{W: 12, H: 8}
+
+// Validate reports an error for degenerate grids.
+func (g Grid) Validate() error {
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("projection: invalid grid %dx%d", g.W, g.H)
+	}
+	return nil
+}
+
+// Tiles reports the total number of tiles.
+func (g Grid) Tiles() int { return g.W * g.H }
+
+// Tile identifies one tile by its x (I, yaw axis) and y (J, pitch axis)
+// position in the grid.
+type Tile struct {
+	I int
+	J int
+}
+
+// Index flattens t into [0, W*H) in row-major order.
+func (g Grid) Index(t Tile) int { return t.J*g.W + t.I }
+
+// TileByIndex is the inverse of Index.
+func (g Grid) TileByIndex(idx int) Tile {
+	return Tile{I: idx % g.W, J: idx / g.W}
+}
+
+// Contains reports whether t is a valid tile of g.
+func (g Grid) Contains(t Tile) bool {
+	return t.I >= 0 && t.I < g.W && t.J >= 0 && t.J < g.H
+}
+
+// Orientation is a viewing direction (the ROI center direction).
+type Orientation struct {
+	Yaw   float64 // degrees, any value; normalized internally to [0,360)
+	Pitch float64 // degrees, clamped to [-90, +90]
+}
+
+// NormalizeYaw maps an arbitrary yaw to [0, 360).
+func NormalizeYaw(yaw float64) float64 {
+	y := math.Mod(yaw, 360)
+	if y < 0 {
+		y += 360
+	}
+	return y
+}
+
+// ClampPitch limits pitch to [-90, 90].
+func ClampPitch(p float64) float64 {
+	return math.Max(-90, math.Min(90, p))
+}
+
+// Normalized returns o with yaw in [0,360) and pitch in [-90,90].
+func (o Orientation) Normalized() Orientation {
+	return Orientation{Yaw: NormalizeYaw(o.Yaw), Pitch: ClampPitch(o.Pitch)}
+}
+
+// TileAt returns the tile containing orientation o.
+func (g Grid) TileAt(o Orientation) Tile {
+	o = o.Normalized()
+	i := int(o.Yaw / 360 * float64(g.W))
+	if i >= g.W {
+		i = g.W - 1
+	}
+	// Pitch +90 maps to row 0, pitch -90 to row H-1.
+	frac := (90 - o.Pitch) / 180
+	j := int(frac * float64(g.H))
+	if j >= g.H {
+		j = g.H - 1
+	}
+	return Tile{I: i, J: j}
+}
+
+// Center returns the orientation at the center of tile t.
+func (g Grid) Center(t Tile) Orientation {
+	yaw := (float64(t.I) + 0.5) / float64(g.W) * 360
+	pitch := 90 - (float64(t.J)+0.5)/float64(g.H)*180
+	return Orientation{Yaw: yaw, Pitch: pitch}
+}
+
+// CyclicDX returns the minimal absolute x-distance between columns a and b,
+// accounting for yaw wrap-around (the left and right frame edges are
+// adjacent on the sphere).
+func (g Grid) CyclicDX(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := g.W - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// Distance returns the (cyclic-x, absolute-y) tile distance between a and b.
+// This is the (i−i*, j−j*) pair of the paper's Eq. 1, taken as magnitudes:
+// the compression level depends only on how far a tile is from the ROI
+// center, not on the side it lies on.
+func (g Grid) Distance(a, b Tile) (dx, dy int) {
+	dx = g.CyclicDX(a.I, b.I)
+	dy = a.J - b.J
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx, dy
+}
+
+// AngularDistance returns the great-circle angle in degrees between two
+// orientations. Used by the head-motion model and ROI-change detection.
+func AngularDistance(a, b Orientation) float64 {
+	a, b = a.Normalized(), b.Normalized()
+	ay, ap := a.Yaw*math.Pi/180, a.Pitch*math.Pi/180
+	by, bp := b.Yaw*math.Pi/180, b.Pitch*math.Pi/180
+	// Spherical law of cosines with clamping for numeric safety.
+	c := math.Sin(ap)*math.Sin(bp) + math.Cos(ap)*math.Cos(bp)*math.Cos(ay-by)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c) * 180 / math.Pi
+}
+
+// FoV describes a head-mounted display's field of view in degrees.
+type FoV struct {
+	H float64 // horizontal extent
+	V float64 // vertical extent
+}
+
+// DefaultFoV approximates a mobile VR HMD (Cardboard-class) viewport.
+var DefaultFoV = FoV{H: 100, V: 90}
+
+// VisibleTiles returns the tiles whose centers fall inside the FoV box
+// centered at o. The box is cyclic in yaw and clamped in pitch. The ROI
+// center tile is always included.
+func (g Grid) VisibleTiles(o Orientation, fov FoV) []Tile {
+	o = o.Normalized()
+	center := g.TileAt(o)
+	var out []Tile
+	for j := 0; j < g.H; j++ {
+		for i := 0; i < g.W; i++ {
+			t := Tile{I: i, J: j}
+			if t == center {
+				out = append(out, t)
+				continue
+			}
+			c := g.Center(t)
+			dyaw := math.Abs(NormalizeYaw(c.Yaw - o.Yaw))
+			if dyaw > 180 {
+				dyaw = 360 - dyaw
+			}
+			dpitch := math.Abs(c.Pitch - o.Pitch)
+			if dyaw <= fov.H/2 && dpitch <= fov.V/2 {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// AreaWeight returns the fraction of sphere area covered by one tile in row
+// j: equirectangular rows near the poles cover far less solid angle than
+// equatorial rows. Weights over all tiles in the grid sum to 1.
+func (g Grid) AreaWeight(j int) float64 {
+	// Row j spans pitch [90−(j+1)·180/H, 90−j·180/H].
+	hi := (90 - float64(j)*180/float64(g.H)) * math.Pi / 180
+	lo := (90 - float64(j+1)*180/float64(g.H)) * math.Pi / 180
+	band := (math.Sin(hi) - math.Sin(lo)) / 2 // fraction of sphere in the row
+	return band / float64(g.W)
+}

@@ -1,0 +1,233 @@
+package projection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridValidate(t *testing.T) {
+	if err := DefaultGrid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []Grid{{0, 8}, {12, 0}, {-1, -1}} {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("grid %+v validated", g)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := DefaultGrid
+	for idx := 0; idx < g.Tiles(); idx++ {
+		tl := g.TileByIndex(idx)
+		if !g.Contains(tl) {
+			t.Fatalf("TileByIndex(%d)=%v out of grid", idx, tl)
+		}
+		if g.Index(tl) != idx {
+			t.Fatalf("Index(TileByIndex(%d)) = %d", idx, g.Index(tl))
+		}
+	}
+}
+
+func TestNormalizeYaw(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {-90, 270}, {450, 90}, {720.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := NormalizeYaw(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalizeYaw(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampPitch(t *testing.T) {
+	if ClampPitch(120) != 90 || ClampPitch(-120) != -90 || ClampPitch(10) != 10 {
+		t.Fatal("ClampPitch wrong")
+	}
+}
+
+func TestTileAtCorners(t *testing.T) {
+	g := DefaultGrid
+	if tl := g.TileAt(Orientation{Yaw: 0, Pitch: 90}); tl != (Tile{0, 0}) {
+		t.Fatalf("NW corner = %v", tl)
+	}
+	if tl := g.TileAt(Orientation{Yaw: 359.9, Pitch: -90}); tl != (Tile{11, 7}) {
+		t.Fatalf("SE corner = %v", tl)
+	}
+	// Equator, yaw 180 → middle of grid.
+	tl := g.TileAt(Orientation{Yaw: 180, Pitch: 0})
+	if tl.I != 6 || tl.J != 4 {
+		t.Fatalf("equator mid = %v, want {6 4}", tl)
+	}
+}
+
+func TestCenterTileAtRoundTrip(t *testing.T) {
+	g := DefaultGrid
+	for j := 0; j < g.H; j++ {
+		for i := 0; i < g.W; i++ {
+			tl := Tile{I: i, J: j}
+			if got := g.TileAt(g.Center(tl)); got != tl {
+				t.Fatalf("TileAt(Center(%v)) = %v", tl, got)
+			}
+		}
+	}
+}
+
+func TestCyclicDX(t *testing.T) {
+	g := DefaultGrid // W=12
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 11, 1}, {0, 6, 6}, {2, 10, 4}, {11, 0, 1},
+	}
+	for _, c := range cases {
+		if got := g.CyclicDX(c.a, c.b); got != c.want {
+			t.Errorf("CyclicDX(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	g := DefaultGrid
+	a, b := Tile{1, 2}, Tile{10, 7}
+	dx1, dy1 := g.Distance(a, b)
+	dx2, dy2 := g.Distance(b, a)
+	if dx1 != dx2 || dy1 != dy2 {
+		t.Fatalf("Distance not symmetric: (%d,%d) vs (%d,%d)", dx1, dy1, dx2, dy2)
+	}
+	if dx1 != 3 || dy1 != 5 {
+		t.Fatalf("Distance = (%d,%d), want (3,5)", dx1, dy1)
+	}
+}
+
+func TestAngularDistance(t *testing.T) {
+	cases := []struct {
+		a, b Orientation
+		want float64
+	}{
+		{Orientation{0, 0}, Orientation{0, 0}, 0},
+		{Orientation{0, 0}, Orientation{180, 0}, 180},
+		{Orientation{0, 0}, Orientation{90, 0}, 90},
+		{Orientation{0, 90}, Orientation{123, -90}, 180},
+		{Orientation{0, 0}, Orientation{0, 45}, 45},
+		{Orientation{350, 0}, Orientation{10, 0}, 20},
+	}
+	for _, c := range cases {
+		if got := AngularDistance(c.a, c.b); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("AngularDistance(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVisibleTilesIncludesCenter(t *testing.T) {
+	g := DefaultGrid
+	o := Orientation{Yaw: 45, Pitch: 10}
+	center := g.TileAt(o)
+	vis := g.VisibleTiles(o, DefaultFoV)
+	found := false
+	for _, tl := range vis {
+		if tl == center {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ROI center tile not visible")
+	}
+	if len(vis) == 0 || len(vis) >= g.Tiles() {
+		t.Fatalf("visible count %d implausible for %v FoV", len(vis), DefaultFoV)
+	}
+}
+
+func TestVisibleTilesWrapAround(t *testing.T) {
+	g := DefaultGrid
+	// Looking at yaw ~0 must include tiles on both frame edges.
+	vis := g.VisibleTiles(Orientation{Yaw: 2, Pitch: 0}, DefaultFoV)
+	hasLeft, hasRight := false, false
+	for _, tl := range vis {
+		if tl.I == 0 {
+			hasLeft = true
+		}
+		if tl.I == g.W-1 {
+			hasRight = true
+		}
+	}
+	if !hasLeft || !hasRight {
+		t.Fatalf("FoV at yaw 0 should wrap: left=%v right=%v (%v)", hasLeft, hasRight, vis)
+	}
+}
+
+func TestAreaWeightsSumToOne(t *testing.T) {
+	g := DefaultGrid
+	sum := 0.0
+	for j := 0; j < g.H; j++ {
+		w := g.AreaWeight(j)
+		if w <= 0 {
+			t.Fatalf("AreaWeight(%d) = %v", j, w)
+		}
+		sum += w * float64(g.W)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("area weights sum to %v, want 1", sum)
+	}
+}
+
+func TestAreaWeightEquatorLargest(t *testing.T) {
+	g := DefaultGrid
+	eq := g.AreaWeight(g.H / 2)
+	pole := g.AreaWeight(0)
+	if eq <= pole {
+		t.Fatalf("equator weight %v should exceed pole weight %v", eq, pole)
+	}
+}
+
+// Property: TileAt always yields an in-grid tile for any orientation.
+func TestPropertyTileAtInGrid(t *testing.T) {
+	g := DefaultGrid
+	f := func(yaw, pitch float64) bool {
+		if math.IsNaN(yaw) || math.IsInf(yaw, 0) || math.IsNaN(pitch) || math.IsInf(pitch, 0) {
+			return true
+		}
+		return g.Contains(g.TileAt(Orientation{Yaw: yaw, Pitch: pitch}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cyclic distance is at most W/2 and symmetric.
+func TestPropertyCyclicDXBounds(t *testing.T) {
+	g := DefaultGrid
+	f := func(a, b uint8) bool {
+		i, j := int(a)%g.W, int(b)%g.W
+		d := g.CyclicDX(i, j)
+		return d == g.CyclicDX(j, i) && d >= 0 && d <= g.W/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: angular distance is a metric-ish quantity: symmetric, in
+// [0,180], zero iff same direction (up to normalization).
+func TestPropertyAngularDistance(t *testing.T) {
+	f := func(y1, p1, y2, p2 float64) bool {
+		bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+		if bad(y1) || bad(p1) || bad(y2) || bad(p2) {
+			return true
+		}
+		a := Orientation{Yaw: y1, Pitch: p1}
+		b := Orientation{Yaw: y2, Pitch: p2}
+		d1, d2 := AngularDistance(a, b), AngularDistance(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0 && d1 <= 180+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVisibleTiles(b *testing.B) {
+	g := DefaultGrid
+	o := Orientation{Yaw: 123, Pitch: -20}
+	for i := 0; i < b.N; i++ {
+		g.VisibleTiles(o, DefaultFoV)
+	}
+}

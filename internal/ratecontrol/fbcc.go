@@ -1,0 +1,330 @@
+package ratecontrol
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+)
+
+// FBCCConfig parameterizes Firmware-Buffer-aware Congestion Control.
+type FBCCConfig struct {
+	// K is the number of consecutive buffer-growth reports required by the
+	// congestion test of Eq. 3 (the paper uses 10).
+	K int
+	// Slack allows this many non-increasing transitions inside the K-report
+	// window before the streak resets; the paper's condition is strict, but
+	// per-subframe grant noise makes one-sample dips routine on a sampled
+	// buffer, so a small slack keeps the detector usable. Slack 0 restores
+	// the strict test.
+	Slack int
+	// BandwidthWindow is how many diag reports form the ΣTBS window of
+	// Eq. 4 when computing the instantaneous uplink bandwidth.
+	BandwidthWindow int
+	// HoldRTTs is how long (in RTTs) the encoding rate stays pinned to the
+	// measured bandwidth after an overuse, per Eq. 6 (the paper uses 2).
+	HoldRTTs float64
+	// RTT is the nominal end-to-end round trip used for the hold.
+	RTT time.Duration
+	// MinCongestionBuffer gates the Eq. 3 detector: below this occupancy
+	// the PF scheduler still has headroom (the Fig. 5 linear region), so a
+	// growing buffer does not mean the uplink is saturated and Eq. 5's
+	// "throughput = bandwidth" identity would not hold.
+	MinCongestionBuffer float64
+	// InitialTargetBuffer seeds B* before the sweet-spot estimator has
+	// learned the knee of the buffer→TBS curve.
+	InitialTargetBuffer float64
+	// TargetMargin multiplies the learned knee so the buffer sits safely in
+	// the high-usage region (§3.3's "sweet spot").
+	TargetMargin float64
+	// MinRTPRate / MaxRTPRate clamp the Eq. 7 pacing rate.
+	MinRTPRate float64
+	MaxRTPRate float64
+	// MinVideoRate floors the encoder rate even under deep congestion.
+	MinVideoRate float64
+}
+
+// DefaultFBCCConfig returns the paper's parameters.
+func DefaultFBCCConfig(rtt time.Duration) FBCCConfig {
+	return FBCCConfig{
+		K:                   10,
+		Slack:               2,
+		BandwidthWindow:     10,
+		HoldRTTs:            2,
+		RTT:                 rtt,
+		MinCongestionBuffer: 10 * 1024,
+		InitialTargetBuffer: 8 * 1024,
+		TargetMargin:        1.15,
+		MinRTPRate:          150e3,
+		MaxRTPRate:          30e6,
+		MinVideoRate:        150e3,
+	}
+}
+
+// Validate reports an error for incoherent configurations.
+func (c FBCCConfig) Validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("ratecontrol: FBCC K %d too small", c.K)
+	}
+	if c.Slack < 0 || c.Slack >= c.K {
+		return fmt.Errorf("ratecontrol: FBCC slack %d outside [0, K)", c.Slack)
+	}
+	if c.BandwidthWindow < 1 {
+		return fmt.Errorf("ratecontrol: FBCC bandwidth window %d", c.BandwidthWindow)
+	}
+	if c.HoldRTTs <= 0 || c.RTT <= 0 {
+		return fmt.Errorf("ratecontrol: FBCC hold requires positive RTT")
+	}
+	if c.MinCongestionBuffer < 0 {
+		return fmt.Errorf("ratecontrol: FBCC min congestion buffer must be non-negative")
+	}
+	if c.InitialTargetBuffer <= 0 {
+		return fmt.Errorf("ratecontrol: FBCC initial target buffer must be positive")
+	}
+	if c.TargetMargin < 1 {
+		return fmt.Errorf("ratecontrol: FBCC target margin %g below 1", c.TargetMargin)
+	}
+	if c.MinRTPRate <= 0 || c.MaxRTPRate <= c.MinRTPRate {
+		return fmt.Errorf("ratecontrol: bad FBCC RTP bounds")
+	}
+	if c.MinVideoRate <= 0 {
+		return fmt.Errorf("ratecontrol: FBCC min video rate must be positive")
+	}
+	return nil
+}
+
+// FBCC is the sender-side cross-layer controller (§4.3). Feed it every
+// 40 ms diag report via OnDiag; read the encoding bitrate via VideoRate
+// (Eq. 6, combining the uplink detector with the embedded end-to-end GCC
+// rate) and the pacing rate via RTPRate (Eq. 7).
+type FBCC struct {
+	cfg FBCCConfig
+
+	// Eq. 3 state.
+	lastBuffer  int
+	haveLast    bool
+	streak      int
+	slackUsed   int
+	longTerm    metrics.Running // Γ: long-term average buffer level
+	congested   bool
+	congestedAt time.Duration
+
+	// Eq. 4 window of diag reports.
+	tbsWindow []lte.DiagReport
+
+	// Eq. 5/6 state.
+	rbw       float64 // measured uplink bandwidth at last overuse
+	holdUntil time.Duration
+
+	// Eq. 7 state.
+	rtpRate   float64
+	videoRate float64 // latest encoder rate, floors the pacing rate
+	sweet     sweetSpotEstimator
+
+	// Diagnostics for traces and tests.
+	overuses int
+}
+
+// NewFBCC builds the controller.
+func NewFBCC(cfg FBCCConfig) (*FBCC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FBCC{cfg: cfg, rtpRate: cfg.InitialRTP()}
+	f.sweet.init(cfg.InitialTargetBuffer)
+	return f, nil
+}
+
+// InitialRTP is the pacing rate before any diagnostics arrive.
+func (c FBCCConfig) InitialRTP() float64 {
+	return math.Min(3e6, c.MaxRTPRate)
+}
+
+// OnDiag consumes one chipset diagnostic report. It must be called in
+// report order; the report cadence defines the Δt of Eq. 3 and the epoch
+// Dp of Eq. 7.
+func (f *FBCC) OnDiag(rep lte.DiagReport) {
+	buf := float64(rep.BufferBytes)
+	f.longTerm.Add(buf)
+
+	// --- Eq. 3: congestion detector ---------------------------------
+	if f.haveLast {
+		if rep.BufferBytes > f.lastBuffer {
+			f.streak++
+		} else if f.slackUsed < f.cfg.Slack && f.streak > 0 {
+			f.slackUsed++ // tolerate an isolated dip inside the streak
+		} else {
+			f.streak = 0
+			f.slackUsed = 0
+		}
+	}
+	f.lastBuffer = rep.BufferBytes
+	f.haveLast = true
+
+	// --- Eq. 4 window -------------------------------------------------
+	f.tbsWindow = append(f.tbsWindow, rep)
+	if len(f.tbsWindow) > f.cfg.BandwidthWindow {
+		f.tbsWindow = f.tbsWindow[len(f.tbsWindow)-f.cfg.BandwidthWindow:]
+	}
+
+	// Sweet-spot learning happens on every report.
+	dur := time.Duration(rep.Subframes) * lte.Subframe
+	if dur > 0 {
+		f.sweet.observe(buf, rep.SumTBSBits/dur.Seconds())
+	}
+
+	gamma := f.longTerm.Mean()
+	j := f.streak >= f.cfg.K && buf > gamma && buf >= f.cfg.MinCongestionBuffer
+	if j {
+		// Overuse: measure the bandwidth (Eq. 5) and start the 2-RTT hold.
+		f.rbw = f.BandwidthEstimate()
+		f.congested = true
+		f.congestedAt = rep.At
+		f.holdUntil = rep.At + time.Duration(f.cfg.HoldRTTs*float64(f.cfg.RTT))
+		f.overuses++
+		f.streak = 0
+		f.slackUsed = 0
+	} else if rep.At >= f.holdUntil {
+		f.congested = false
+	}
+
+	// --- Eq. 7: steer the buffer to the sweet spot ---------------------
+	// Rrtp(t) = Rrtp(t−Dp) + (B* − B)/Dp: below B* the pacing rate rises
+	// to refill the buffer so the PF scheduler keeps granting at the
+	// high-usage rate; above B* it trims the excess. The rate is floored
+	// at the current video bitrate so the transport never throttles below
+	// the source — that would merely relocate the queue into the
+	// application layer and hide congestion from the Eq. 3 detector
+	// (§4.3.1's queuing-location argument).
+	if dur > 0 {
+		adj := (f.TargetBuffer() - buf) * 8 / dur.Seconds() // bits/s correction
+		f.rtpRate += adj
+		floor := f.cfg.MinRTPRate
+		if vr := f.videoRate * 1.05; vr > floor {
+			floor = vr
+		}
+		f.rtpRate = math.Max(floor, math.Min(f.cfg.MaxRTPRate, f.rtpRate))
+	}
+}
+
+// SetVideoRate informs the pacing loop of the current encoder bitrate; the
+// Eq. 7 rate never falls below it (see OnDiag).
+func (f *FBCC) SetVideoRate(rv float64) {
+	if rv > 0 {
+		f.videoRate = rv
+	}
+}
+
+// BandwidthEstimate returns the Eq. 4 windowed PHY throughput (ΣTBS over
+// the report window divided by its duration), the paper's Rphy.
+func (f *FBCC) BandwidthEstimate() float64 {
+	if len(f.tbsWindow) == 0 {
+		return 0
+	}
+	var bits float64
+	var sub int
+	for _, r := range f.tbsWindow {
+		bits += r.SumTBSBits
+		sub += r.Subframes
+	}
+	dur := time.Duration(sub) * lte.Subframe
+	if dur <= 0 {
+		return 0
+	}
+	return bits / dur.Seconds()
+}
+
+// VideoRate implements Eq. 6: during the post-overuse hold the encoder is
+// pinned to the measured uplink bandwidth; otherwise the embedded
+// end-to-end controller's rate rgcc applies (handling congestion
+// elsewhere, or no congestion).
+func (f *FBCC) VideoRate(now time.Duration, rgcc float64) float64 {
+	var r float64
+	if now <= f.holdUntil && f.rbw > 0 {
+		r = f.rbw
+	} else {
+		r = rgcc
+	}
+	return math.Max(f.cfg.MinVideoRate, r)
+}
+
+// RTPRate returns the Eq. 7 pacing rate.
+func (f *FBCC) RTPRate() float64 { return f.rtpRate }
+
+// Congested reports whether the detector currently signals uplink overuse
+// (J of Eq. 3, latched for the hold interval).
+func (f *FBCC) Congested() bool { return f.congested }
+
+// Overuses counts detector firings since start.
+func (f *FBCC) Overuses() int { return f.overuses }
+
+// LongTermBuffer returns Γ, the running average firmware-buffer level.
+func (f *FBCC) LongTermBuffer() float64 { return f.longTerm.Mean() }
+
+// TargetBuffer returns B*, the sweet-spot buffer level currently targeted
+// by the Eq. 7 loop.
+func (f *FBCC) TargetBuffer() float64 {
+	return f.sweet.target() * f.cfg.TargetMargin
+}
+
+// sweetSpotEstimator learns the knee of the buffer→TBS curve online: the
+// smallest buffer level at which the observed service rate stops growing.
+// It buckets buffer levels at 2 KB granularity and keeps an EWMA of the
+// rate per bucket.
+type sweetSpotEstimator struct {
+	buckets  [32]float64 // EWMA of rate, bucket b covers [2KB·b, 2KB·(b+1))
+	seen     [32]bool
+	fallback float64
+}
+
+const sweetBucketBytes = 2048
+
+func (s *sweetSpotEstimator) init(fallback float64) { s.fallback = fallback }
+
+func (s *sweetSpotEstimator) observe(bufferBytes, rate float64) {
+	if bufferBytes <= 0 || rate <= 0 {
+		return
+	}
+	b := int(bufferBytes / sweetBucketBytes)
+	if b >= len(s.buckets) {
+		b = len(s.buckets) - 1
+	}
+	if !s.seen[b] {
+		s.buckets[b] = rate
+		s.seen[b] = true
+		return
+	}
+	s.buckets[b] += 0.05 * (rate - s.buckets[b])
+}
+
+// target returns the learned knee in bytes, or the fallback before enough
+// of the curve has been explored.
+func (s *sweetSpotEstimator) target() float64 {
+	max := 0.0
+	for b, r := range s.buckets {
+		if s.seen[b] && r > max {
+			max = r
+		}
+	}
+	if max == 0 {
+		return s.fallback
+	}
+	for b, r := range s.buckets {
+		if s.seen[b] && r >= 0.9*max {
+			knee := float64(b+1) * sweetBucketBytes
+			// Bound the learned knee: a low-buffer fluke must not collapse
+			// the target into the starvation region, and an outlier must
+			// not push it deep into the overuse region.
+			if knee < s.fallback {
+				knee = s.fallback
+			}
+			if knee > 3*s.fallback {
+				knee = 3 * s.fallback
+			}
+			return knee
+		}
+	}
+	return s.fallback
+}

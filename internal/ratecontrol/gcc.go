@@ -1,0 +1,348 @@
+// Package ratecontrol implements the two congestion controllers compared in
+// the paper: a faithful-in-spirit Google Congestion Control (GCC) — the
+// WebRTC default used as the end-to-end baseline — and POI360's
+// Firmware-Buffer-aware Congestion Control (FBCC, §4.3), which reads the
+// LTE modem diagnostics to detect uplink congestion within a few 40 ms
+// reports and pins the encoding bitrate to the measured PHY throughput.
+package ratecontrol
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// GCCConfig parameterizes the delay-gradient controller.
+type GCCConfig struct {
+	// Window is how many recent frames feed the trendline filter.
+	Window int
+	// InitialRate seeds the target before any feedback.
+	InitialRate float64
+	// MinRate / MaxRate clamp the target.
+	MinRate float64
+	MaxRate float64
+	// Beta is the multiplicative decrease applied to the received rate on
+	// overuse (0.85 in GCC).
+	Beta float64
+	// IncreasePerSec is the multiplicative increase factor per second in
+	// the Increase state (≈1.08 in GCC).
+	IncreasePerSec float64
+	// InitialThreshold is the starting overuse threshold for the delay
+	// slope, in ms of delay growth per second.
+	InitialThreshold float64
+	// OveruseTime: the slope must stay above threshold this long before
+	// overuse is signalled (GCC's ~10–100 ms persistence requirement).
+	OveruseTime time.Duration
+	// RateWindow measures the received throughput.
+	RateWindow time.Duration
+	// Warmup disarms the overuse detector for the first instants of the
+	// session while the access-link queue primes (WebRTC's start phase).
+	Warmup time.Duration
+}
+
+// DefaultGCCConfig returns the parameters used by the evaluation.
+func DefaultGCCConfig() GCCConfig {
+	return GCCConfig{
+		Window:           120,
+		InitialRate:      1.0e6,
+		MinRate:          150e3,
+		MaxRate:          20e6,
+		Beta:             0.85,
+		IncreasePerSec:   1.25,
+		InitialThreshold: 80, // ms/s
+		OveruseTime:      150 * time.Millisecond,
+		RateWindow:       time.Second,
+		Warmup:           1500 * time.Millisecond,
+	}
+}
+
+// Validate reports an error for incoherent configurations.
+func (c GCCConfig) Validate() error {
+	if c.Window < 3 {
+		return fmt.Errorf("ratecontrol: GCC window %d too small", c.Window)
+	}
+	if c.MinRate <= 0 || c.MaxRate <= c.MinRate {
+		return fmt.Errorf("ratecontrol: bad GCC rate bounds [%g, %g]", c.MinRate, c.MaxRate)
+	}
+	if c.InitialRate < c.MinRate || c.InitialRate > c.MaxRate {
+		return fmt.Errorf("ratecontrol: GCC initial rate %g outside bounds", c.InitialRate)
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("ratecontrol: GCC beta %g outside (0,1)", c.Beta)
+	}
+	if c.IncreasePerSec <= 1 {
+		return fmt.Errorf("ratecontrol: GCC increase factor %g must exceed 1", c.IncreasePerSec)
+	}
+	if c.OveruseTime <= 0 || c.RateWindow <= 0 {
+		return fmt.Errorf("ratecontrol: GCC times must be positive")
+	}
+	return nil
+}
+
+// BandwidthUsage is the detector verdict.
+type BandwidthUsage int
+
+// Detector states.
+const (
+	Normal BandwidthUsage = iota
+	Overuse
+	Underuse
+)
+
+func (b BandwidthUsage) String() string {
+	switch b {
+	case Overuse:
+		return "overuse"
+	case Underuse:
+		return "underuse"
+	default:
+		return "normal"
+	}
+}
+
+// rateState is GCC's AIMD state machine state.
+type rateState int
+
+const (
+	stateIncrease rateState = iota
+	stateHold
+	stateDecrease
+)
+
+type frameObs struct {
+	arrival time.Duration
+	delay   time.Duration
+	bits    float64
+}
+
+type seqObs struct {
+	arrival time.Duration
+	seq     int64
+}
+
+// GCCReceiver runs at the viewer: it filters per-frame one-way delays into
+// a delay-gradient trendline, detects bandwidth overuse, and produces the
+// REMB-style target rate that is fed back to the sender one RTT later.
+type GCCReceiver struct {
+	cfg GCCConfig
+
+	frames []frameObs // ring of recent frames, newest last
+
+	// smoothed is the EWMA-filtered delay fed to the trendline, mirroring
+	// WebRTC's smoothing of the accumulated delay before the slope fit.
+	smoothed     float64
+	haveSmoothed bool
+
+	threshold    float64 // adaptive overuse threshold, ms/s
+	overuseSince time.Duration
+	inOveruse    bool
+
+	state      rateState
+	rate       float64
+	lastUpdate time.Duration
+	usage      BandwidthUsage
+
+	seqs []seqObs // recent packet sequence numbers for loss estimation
+}
+
+// NewGCCReceiver builds a receiver-side controller.
+func NewGCCReceiver(cfg GCCConfig) (*GCCReceiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GCCReceiver{
+		cfg:       cfg,
+		threshold: cfg.InitialThreshold,
+		state:     stateIncrease,
+		rate:      cfg.InitialRate,
+	}, nil
+}
+
+// OnFrame records one received frame: its arrival time, one-way delay, and
+// size. Call Update afterwards (or periodically) to refresh the target.
+func (g *GCCReceiver) OnFrame(arrival, delay time.Duration, bits float64) {
+	d := float64(delay) / float64(time.Millisecond)
+	if !g.haveSmoothed {
+		g.smoothed = d
+		g.haveSmoothed = true
+	} else {
+		g.smoothed += 0.15 * (d - g.smoothed)
+	}
+	g.frames = append(g.frames, frameObs{
+		arrival: arrival,
+		delay:   time.Duration(g.smoothed * float64(time.Millisecond)),
+		bits:    bits,
+	})
+	if len(g.frames) > g.cfg.Window {
+		g.frames = g.frames[len(g.frames)-g.cfg.Window:]
+	}
+	if arrival >= g.cfg.Warmup {
+		g.detect(arrival)
+	}
+}
+
+// OnPacket records a received transport packet including its sequence
+// number, enabling the loss-based controller (RTCP-receiver-report style).
+func (g *GCCReceiver) OnPacket(arrival, delay time.Duration, bits float64, seq int64) {
+	g.OnFrame(arrival, delay, bits)
+	g.seqs = append(g.seqs, seqObs{arrival: arrival, seq: seq})
+	cut := 0
+	for cut < len(g.seqs) && arrival-g.seqs[cut].arrival > g.cfg.RateWindow {
+		cut++
+	}
+	g.seqs = g.seqs[cut:]
+}
+
+// LossRatio estimates the fraction of packets lost over the rate window
+// from sequence-number gaps.
+func (g *GCCReceiver) LossRatio() float64 {
+	if len(g.seqs) < 2 {
+		return 0
+	}
+	span := g.seqs[len(g.seqs)-1].seq - g.seqs[0].seq + 1
+	if span <= 0 {
+		return 0
+	}
+	lost := span - int64(len(g.seqs))
+	if lost <= 0 {
+		return 0
+	}
+	return float64(lost) / float64(span)
+}
+
+// slope returns the least-squares delay slope in ms per second over the
+// frame window.
+func (g *GCCReceiver) slope() float64 {
+	n := len(g.frames)
+	if n < 3 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, f := range g.frames {
+		x := f.arrival.Seconds()
+		y := float64(f.delay.Milliseconds())
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den <= 1e-12 {
+		return 0
+	}
+	return (fn*sxy - sx*sy) / den
+}
+
+// detect updates the overuse detector and adapts the threshold the way GCC
+// does (threshold drifts toward the observed |slope| so persistent
+// moderate congestion still triggers while noise does not).
+func (g *GCCReceiver) detect(now time.Duration) {
+	s := g.slope()
+	abs := math.Abs(s)
+
+	// Adaptive threshold: as in GCC it chases |slope| quickly when exceeded
+	// (desensitizing against persistent jitter) and decays slowly below.
+	k := 0.02
+	if abs < g.threshold {
+		k = 0.002
+	}
+	g.threshold += k * (abs - g.threshold)
+	g.threshold = math.Max(70, math.Min(600, g.threshold))
+
+	switch {
+	case s > g.threshold:
+		if !g.inOveruse {
+			g.inOveruse = true
+			g.overuseSince = now
+		}
+		if now-g.overuseSince >= g.cfg.OveruseTime {
+			g.usage = Overuse
+		}
+	case s < -g.threshold:
+		g.inOveruse = false
+		g.usage = Underuse
+	default:
+		g.inOveruse = false
+		g.usage = Normal
+	}
+}
+
+// Usage reports the current detector verdict.
+func (g *GCCReceiver) Usage() BandwidthUsage { return g.usage }
+
+// ReceivedRate measures the incoming throughput over the configured window.
+func (g *GCCReceiver) ReceivedRate(now time.Duration) float64 {
+	var bits float64
+	for _, f := range g.frames {
+		if now-f.arrival <= g.cfg.RateWindow {
+			bits += f.bits
+		}
+	}
+	return bits / g.cfg.RateWindow.Seconds()
+}
+
+// Update advances the AIMD state machine and returns the REMB target rate.
+// Call it periodically (the session calls it once per feedback interval).
+func (g *GCCReceiver) Update(now time.Duration) float64 {
+	elapsed := now - g.lastUpdate
+	if g.lastUpdate == 0 {
+		elapsed = 0
+	}
+	g.lastUpdate = now
+
+	switch g.usage {
+	case Overuse:
+		g.state = stateDecrease
+	case Underuse:
+		// Queues are draining from a previous overuse: hold until normal.
+		g.state = stateHold
+	default:
+		if g.state == stateDecrease {
+			g.state = stateHold
+		} else {
+			g.state = stateIncrease
+		}
+	}
+
+	switch g.state {
+	case stateDecrease:
+		recv := g.ReceivedRate(now)
+		target := g.rate * g.cfg.Beta
+		if recv > 0 {
+			// Decrease relative to what actually arrived, but never raise
+			// the rate on an overuse signal.
+			target = math.Min(g.cfg.Beta*recv, g.rate)
+		}
+		g.rate = target
+		// One decrease per overuse signal: reset the trendline so stale
+		// pre-decrease delays cannot re-trigger immediately.
+		g.usage = Normal
+		g.inOveruse = false
+		g.frames = g.frames[:0]
+	case stateIncrease:
+		if elapsed > 0 {
+			g.rate *= math.Pow(g.cfg.IncreasePerSec, elapsed.Seconds())
+		}
+		// GCC never lets the estimate run away from reality: the target is
+		// capped at 1.5× the observed incoming rate.
+		if recv := g.ReceivedRate(now); recv > 0 {
+			g.rate = math.Min(g.rate, 1.5*recv+20e3)
+		}
+	case stateHold:
+		// Keep the rate.
+	}
+
+	// Loss-based controller (RFC-style): >10% loss forces a proportional
+	// decrease — the regime where a saturated droptail queue shows a flat
+	// delay gradient that the trendline detector cannot see.
+	if loss := g.LossRatio(); loss > 0.10 {
+		g.rate *= 1 - 0.5*loss
+	}
+
+	g.rate = math.Max(g.cfg.MinRate, math.Min(g.cfg.MaxRate, g.rate))
+	return g.rate
+}
+
+// Rate returns the last computed target without advancing the state.
+func (g *GCCReceiver) Rate() float64 { return g.rate }

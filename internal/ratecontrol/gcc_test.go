@@ -1,0 +1,160 @@
+package ratecontrol
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func newGCC(t *testing.T) *GCCReceiver {
+	t.Helper()
+	g, err := NewGCCReceiver(DefaultGCCConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGCCConfigValidate(t *testing.T) {
+	if err := DefaultGCCConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*GCCConfig){
+		func(c *GCCConfig) { c.Window = 1 },
+		func(c *GCCConfig) { c.MinRate = 0 },
+		func(c *GCCConfig) { c.MaxRate = c.MinRate },
+		func(c *GCCConfig) { c.InitialRate = c.MaxRate * 2 },
+		func(c *GCCConfig) { c.Beta = 1 },
+		func(c *GCCConfig) { c.IncreasePerSec = 1 },
+		func(c *GCCConfig) { c.OveruseTime = 0 },
+		func(c *GCCConfig) { c.RateWindow = 0 },
+	}
+	for i, m := range muts {
+		c := DefaultGCCConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestBandwidthUsageString(t *testing.T) {
+	if Normal.String() != "normal" || Overuse.String() != "overuse" || Underuse.String() != "underuse" {
+		t.Fatal("usage names")
+	}
+}
+
+// Feed frames with stable delay in a closed loop (frame sizes track the
+// target): the detector stays normal and the rate grows past its start.
+func TestGCCIncreaseOnStableDelay(t *testing.T) {
+	g := newGCC(t)
+	r0 := g.Rate()
+	var rate float64
+	for i := 0; i < 600; i++ {
+		now := time.Duration(i) * 33 * time.Millisecond
+		g.OnFrame(now, 80*time.Millisecond, g.Rate()/30)
+		if i%3 == 0 {
+			rate = g.Update(now)
+		}
+	}
+	if g.Usage() != Normal {
+		t.Fatalf("usage = %v, want normal", g.Usage())
+	}
+	if rate <= r0 {
+		t.Fatalf("rate %v did not grow from %v", rate, r0)
+	}
+}
+
+// Steadily growing delay (queue building) must trigger overuse and a
+// multiplicative decrease below the received rate.
+func TestGCCOveruseDecreases(t *testing.T) {
+	g := newGCC(t)
+	// Push the rate up first; frame sizes track the target rate as they
+	// would in a closed loop.
+	now := time.Duration(0)
+	for i := 0; i < 60; i++ {
+		now = time.Duration(i) * 33 * time.Millisecond
+		g.OnFrame(now, 80*time.Millisecond, g.Rate()/30)
+		g.Update(now)
+	}
+	var after, beforeDecrease float64
+	sawOveruse := false
+	for i := 0; i < 200 && !sawOveruse; i++ {
+		now += 33 * time.Millisecond
+		delay := 80*time.Millisecond + time.Duration(i)*12*time.Millisecond // ~360 ms/s slope
+		g.OnFrame(now, delay, g.Rate()/30)
+		if g.Usage() == Overuse {
+			sawOveruse = true
+		}
+		beforeDecrease = g.Rate()
+		after = g.Update(now)
+	}
+	if !sawOveruse {
+		t.Fatal("growing delay never signalled overuse")
+	}
+	if after >= beforeDecrease {
+		t.Fatalf("rate %v did not decrease from %v on overuse", after, beforeDecrease)
+	}
+}
+
+// Falling delay (queues draining) signals underuse → hold, not increase.
+func TestGCCUnderuseHolds(t *testing.T) {
+	g := newGCC(t)
+	now := time.Duration(0)
+	for i := 0; i < 60; i++ {
+		now = time.Duration(i) * 33 * time.Millisecond
+		delay := 800*time.Millisecond - time.Duration(i)*10*time.Millisecond
+		g.OnFrame(now, delay, 100e3)
+	}
+	if g.Usage() != Underuse {
+		t.Fatalf("usage = %v, want underuse", g.Usage())
+	}
+	r1 := g.Update(now)
+	r2 := g.Update(now + 100*time.Millisecond)
+	if r1 != r2 {
+		t.Fatalf("rate changed during hold: %v → %v", r1, r2)
+	}
+}
+
+func TestGCCRateClamped(t *testing.T) {
+	cfg := DefaultGCCConfig()
+	cfg.MaxRate = 2e6
+	g, err := NewGCCReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 2000; i++ {
+		now = time.Duration(i) * 33 * time.Millisecond
+		g.OnFrame(now, 50*time.Millisecond, 100e3)
+		g.Update(now)
+	}
+	if g.Rate() > cfg.MaxRate {
+		t.Fatalf("rate %v exceeds max %v", g.Rate(), cfg.MaxRate)
+	}
+	if g.Rate() != cfg.MaxRate {
+		t.Fatalf("rate %v should have reached max %v", g.Rate(), cfg.MaxRate)
+	}
+}
+
+func TestGCCReceivedRate(t *testing.T) {
+	g := newGCC(t)
+	// Window=20 frames at 100ms spacing covers 2s; RateWindow=1s keeps 10.
+	for i := 0; i < 20; i++ {
+		g.OnFrame(time.Duration(i)*100*time.Millisecond, 50*time.Millisecond, 100e3)
+	}
+	now := 19 * 100 * time.Millisecond
+	got := g.ReceivedRate(now)
+	// 11 frames within the last second (1.0s window inclusive): 1.1 Mbit/s.
+	if math.Abs(got-1.1e6) > 1e5 {
+		t.Fatalf("received rate %v, want ≈1.1e6", got)
+	}
+}
+
+func TestGCCNeedsFramesForSlope(t *testing.T) {
+	g := newGCC(t)
+	g.OnFrame(0, time.Second, 1e5)
+	if g.Usage() != Normal {
+		t.Fatal("single frame should not trigger")
+	}
+}

@@ -1,0 +1,204 @@
+// Package rtp models the transport layer of Fig. 9: encoded 360° frames are
+// packetized into MTU-sized RTP packets, buffered in the application-layer
+// video buffer, and released by a pacer at the RTP sending rate Rrtp — the
+// knob FBCC turns to steer the firmware-buffer level (Eq. 7). The receiver
+// side reassembles frames and reports completion times.
+package rtp
+
+import (
+	"fmt"
+	"time"
+
+	"poi360/internal/simclock"
+	"poi360/internal/video"
+)
+
+// MTU is the media packet payload size in bytes.
+const MTU = 1200
+
+// Packet is one RTP packet of a video frame.
+type Packet struct {
+	FrameSeq int
+	Index    int
+	Count    int
+	Bytes    int
+	// Frame carries the encoded-frame metadata (compression matrix, sender
+	// ROI, capture time) the prototype embeds in the canvas (§5).
+	Frame *video.EncodedFrame
+	// SentAt is stamped by the pacer when the packet leaves the app layer.
+	SentAt time.Duration
+	// Seq is the transport-wide sequence number stamped by the pacer,
+	// used by the receiver's loss estimator.
+	Seq int64
+}
+
+// Packetize splits an encoded frame into MTU-sized packets. Every frame
+// yields at least one packet.
+func Packetize(f *video.EncodedFrame) []Packet {
+	bytes := int(f.Bits / 8)
+	if bytes < 1 {
+		bytes = 1
+	}
+	count := (bytes + MTU - 1) / MTU
+	pkts := make([]Packet, count)
+	for i := range pkts {
+		sz := MTU
+		if i == count-1 {
+			sz = bytes - MTU*(count-1)
+		}
+		pkts[i] = Packet{FrameSeq: f.Seq, Index: i, Count: count, Bytes: sz, Frame: f}
+	}
+	return pkts
+}
+
+// Pacer drains the application-layer video buffer into the network at a
+// controlled rate. Its tick is fine-grained (5 ms) so the firmware buffer
+// sees a smooth arrival process.
+type Pacer struct {
+	clk    *simclock.Clock
+	tick   time.Duration
+	rate   float64 // bits/s
+	send   func(Packet) bool
+	queue  []Packet
+	queued float64 // bits
+	credit float64 // bits
+	drops  int64
+	seq    int64
+}
+
+// DefaultPacerTick is the pacing granularity.
+const DefaultPacerTick = 5 * time.Millisecond
+
+// NewPacer creates and starts a pacer. send pushes one packet into the
+// transport and reports false if the access buffer rejected it.
+func NewPacer(clk *simclock.Clock, tick time.Duration, initialRate float64, send func(Packet) bool) *Pacer {
+	if tick <= 0 {
+		panic("rtp: pacer tick must be positive")
+	}
+	if initialRate <= 0 {
+		panic(fmt.Sprintf("rtp: initial rate %g must be positive", initialRate))
+	}
+	p := &Pacer{clk: clk, tick: tick, rate: initialRate, send: send}
+	clk.Ticker(tick, p.onTick)
+	return p
+}
+
+// SetRate updates the pacing rate Rrtp.
+func (p *Pacer) SetRate(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	p.rate = rate
+}
+
+// Rate returns the current pacing rate.
+func (p *Pacer) Rate() float64 { return p.rate }
+
+// Enqueue appends a frame's packets to the video buffer.
+func (p *Pacer) Enqueue(pkts []Packet) {
+	for _, pkt := range pkts {
+		p.queue = append(p.queue, pkt)
+		p.queued += float64(pkt.Bytes) * 8
+	}
+}
+
+// QueueBits reports the application-layer video-buffer occupancy in bits.
+func (p *Pacer) QueueBits() float64 { return p.queued }
+
+// Drops reports packets rejected by the transport at send time.
+func (p *Pacer) Drops() int64 { return p.drops }
+
+func (p *Pacer) onTick() {
+	p.credit += p.rate * p.tick.Seconds()
+	// Cap idle credit at one tick plus a packet so bursts stay bounded.
+	maxCredit := p.rate*p.tick.Seconds() + MTU*8
+	if p.credit > maxCredit {
+		p.credit = maxCredit
+	}
+	for len(p.queue) > 0 {
+		pkt := p.queue[0]
+		bits := float64(pkt.Bytes) * 8
+		if p.credit < bits {
+			break
+		}
+		p.credit -= bits
+		p.queue = p.queue[1:]
+		p.queued -= bits
+		pkt.SentAt = p.clk.Now()
+		pkt.Seq = p.seq
+		p.seq++
+		if !p.send(pkt) {
+			p.drops++
+		}
+	}
+	if len(p.queue) == 0 && p.credit > float64(MTU*8) {
+		p.credit = MTU * 8
+	}
+}
+
+// CompletedFrame is a fully reassembled frame at the receiver.
+type CompletedFrame struct {
+	Frame   *video.EncodedFrame
+	Arrived time.Duration // arrival of the last packet
+	Sent    time.Duration // pacer departure of the first packet
+	Bits    float64
+}
+
+// Reassembler collects packets into frames and invokes the completion
+// callback once per frame. Frames whose packets never all arrive (modem
+// drops) are abandoned when a newer frame completes and reported as lost.
+type Reassembler struct {
+	clk      *simclock.Clock
+	onFrame  func(CompletedFrame)
+	partial  map[int]*partialFrame
+	lost     int64
+	complete int64
+}
+
+type partialFrame struct {
+	got       int
+	count     int
+	frame     *video.EncodedFrame
+	firstSent time.Duration
+	bits      float64
+}
+
+// NewReassembler creates a receiver-side frame assembler.
+func NewReassembler(clk *simclock.Clock, onFrame func(CompletedFrame)) *Reassembler {
+	return &Reassembler{clk: clk, onFrame: onFrame, partial: map[int]*partialFrame{}}
+}
+
+// OnPacket ingests one arriving packet.
+func (r *Reassembler) OnPacket(pkt Packet) {
+	pf := r.partial[pkt.FrameSeq]
+	if pf == nil {
+		pf = &partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt}
+		r.partial[pkt.FrameSeq] = pf
+	}
+	pf.got++
+	pf.bits += float64(pkt.Bytes) * 8
+	if pkt.SentAt < pf.firstSent {
+		pf.firstSent = pkt.SentAt
+	}
+	if pf.got < pf.count {
+		return
+	}
+	delete(r.partial, pkt.FrameSeq)
+	// Frames older than this one that are still partial will never
+	// complete in FIFO delivery: count them lost and forget them.
+	for seq, op := range r.partial {
+		if seq < pkt.FrameSeq {
+			r.lost++
+			delete(r.partial, seq)
+			_ = op
+		}
+	}
+	r.complete++
+	r.onFrame(CompletedFrame{Frame: pf.frame, Arrived: r.clk.Now(), Sent: pf.firstSent, Bits: pf.bits})
+}
+
+// Lost reports frames abandoned due to packet loss.
+func (r *Reassembler) Lost() int64 { return r.lost }
+
+// Completed reports fully delivered frames.
+func (r *Reassembler) Completed() int64 { return r.complete }

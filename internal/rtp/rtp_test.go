@@ -1,0 +1,231 @@
+package rtp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"poi360/internal/projection"
+	"poi360/internal/simclock"
+	"poi360/internal/video"
+)
+
+func frameOfBits(seq int, bits float64) *video.EncodedFrame {
+	return &video.EncodedFrame{Seq: seq, Bits: bits, SenderROI: projection.Tile{}}
+}
+
+func TestPacketizeSizes(t *testing.T) {
+	f := frameOfBits(0, 8*float64(MTU*2+100))
+	pkts := Packetize(f)
+	if len(pkts) != 3 {
+		t.Fatalf("packet count %d, want 3", len(pkts))
+	}
+	total := 0
+	for i, p := range pkts {
+		if p.FrameSeq != 0 || p.Index != i || p.Count != 3 || p.Frame != f {
+			t.Fatalf("packet %d metadata wrong: %+v", i, p)
+		}
+		total += p.Bytes
+	}
+	if total != MTU*2+100 {
+		t.Fatalf("total bytes %d", total)
+	}
+}
+
+func TestPacketizeTinyFrame(t *testing.T) {
+	pkts := Packetize(frameOfBits(1, 4))
+	if len(pkts) != 1 || pkts[0].Bytes != 1 {
+		t.Fatalf("tiny frame: %+v", pkts)
+	}
+}
+
+// Property: packetize always partitions the frame into ≤MTU chunks that sum
+// to the frame size.
+func TestPropertyPacketize(t *testing.T) {
+	f := func(kb uint16) bool {
+		bytes := int(kb) + 1
+		pkts := Packetize(frameOfBits(0, float64(bytes*8)))
+		sum := 0
+		for _, p := range pkts {
+			if p.Bytes <= 0 || p.Bytes > MTU {
+				return false
+			}
+			sum += p.Bytes
+		}
+		return sum == bytes && pkts[0].Count == len(pkts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacerRateLimits(t *testing.T) {
+	clk := simclock.New()
+	var sentBits float64
+	p := NewPacer(clk, DefaultPacerTick, 1e6, func(pkt Packet) bool {
+		sentBits += float64(pkt.Bytes) * 8
+		return true
+	})
+	// 5 Mbit of queued packets at 1 Mbps → ~1 Mbit sent per second.
+	p.Enqueue(Packetize(frameOfBits(0, 5e6)))
+	clk.Run(time.Second)
+	if sentBits < 0.9e6 || sentBits > 1.15e6 {
+		t.Fatalf("sent %v bits in 1s at 1Mbps", sentBits)
+	}
+	if math.Abs(p.QueueBits()-(5e6-sentBits)) > 1 {
+		t.Fatalf("queue accounting: %v", p.QueueBits())
+	}
+}
+
+func TestPacerSetRate(t *testing.T) {
+	clk := simclock.New()
+	var sentBits float64
+	p := NewPacer(clk, DefaultPacerTick, 1e6, func(pkt Packet) bool {
+		sentBits += float64(pkt.Bytes) * 8
+		return true
+	})
+	p.Enqueue(Packetize(frameOfBits(0, 10e6)))
+	clk.Run(time.Second)
+	first := sentBits
+	p.SetRate(4e6)
+	if p.Rate() != 4e6 {
+		t.Fatal("SetRate ignored")
+	}
+	clk.Run(2 * time.Second)
+	second := sentBits - first
+	if second < 3.5e6 || second > 4.5e6 {
+		t.Fatalf("after rate change sent %v bits/s, want ≈4e6", second)
+	}
+	// Non-positive rates are ignored rather than wedging the pacer.
+	p.SetRate(0)
+	if p.Rate() != 4e6 {
+		t.Fatal("zero rate should be ignored")
+	}
+}
+
+func TestPacerSendFailureCountsDrop(t *testing.T) {
+	clk := simclock.New()
+	p := NewPacer(clk, DefaultPacerTick, 10e6, func(Packet) bool { return false })
+	p.Enqueue(Packetize(frameOfBits(0, 8e4)))
+	clk.Run(time.Second)
+	if p.Drops() == 0 {
+		t.Fatal("drops not counted")
+	}
+	if p.QueueBits() != 0 {
+		t.Fatal("dropped packets should leave the queue")
+	}
+}
+
+func TestPacerBadArgsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPacer(simclock.New(), 0, 1e6, nil) },
+		func() { NewPacer(simclock.New(), time.Millisecond, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPacerStampsSentAt(t *testing.T) {
+	clk := simclock.New()
+	var got Packet
+	p := NewPacer(clk, DefaultPacerTick, 10e6, func(pkt Packet) bool {
+		got = pkt
+		return true
+	})
+	clk.Run(100 * time.Millisecond)
+	p.Enqueue(Packetize(frameOfBits(7, 800)))
+	clk.Run(200 * time.Millisecond)
+	if got.FrameSeq != 7 {
+		t.Fatal("packet not sent")
+	}
+	if got.SentAt <= 100*time.Millisecond {
+		t.Fatalf("SentAt = %v, want after enqueue", got.SentAt)
+	}
+}
+
+func TestReassemblerCompletesFrame(t *testing.T) {
+	clk := simclock.New()
+	var done []CompletedFrame
+	r := NewReassembler(clk, func(cf CompletedFrame) { done = append(done, cf) })
+	f := frameOfBits(3, 8*float64(3*MTU))
+	pkts := Packetize(f)
+	for i, p := range pkts {
+		p.SentAt = time.Duration(i) * time.Millisecond
+		clk.Run(time.Duration(i+1) * 10 * time.Millisecond)
+		r.OnPacket(p)
+	}
+	if len(done) != 1 {
+		t.Fatalf("completed %d frames", len(done))
+	}
+	cf := done[0]
+	if cf.Frame != f || cf.Arrived != 30*time.Millisecond || cf.Sent != 0 {
+		t.Fatalf("completion: %+v", cf)
+	}
+	if cf.Bits != 8*float64(3*MTU) {
+		t.Fatalf("bits %v", cf.Bits)
+	}
+	if r.Completed() != 1 || r.Lost() != 0 {
+		t.Fatal("counters")
+	}
+}
+
+func TestReassemblerAbandonsOlderPartials(t *testing.T) {
+	clk := simclock.New()
+	var done []CompletedFrame
+	r := NewReassembler(clk, func(cf CompletedFrame) { done = append(done, cf) })
+	// Frame 0: 2 packets, only the first arrives (second dropped).
+	f0 := Packetize(frameOfBits(0, 8*float64(2*MTU)))
+	r.OnPacket(f0[0])
+	// Frame 1 completes.
+	f1 := Packetize(frameOfBits(1, 800))
+	r.OnPacket(f1[0])
+	if len(done) != 1 || done[0].Frame.Seq != 1 {
+		t.Fatalf("done: %+v", done)
+	}
+	if r.Lost() != 1 {
+		t.Fatalf("Lost = %d, want 1", r.Lost())
+	}
+	// A late packet of frame 0 now recreates a partial that can never
+	// complete (got resets), but must not double-complete frame 1.
+	r.OnPacket(f0[1])
+	if len(done) != 1 {
+		t.Fatal("stale packet completed something")
+	}
+}
+
+func TestPacerDrainsExactly(t *testing.T) {
+	clk := simclock.New()
+	var bits float64
+	p := NewPacer(clk, DefaultPacerTick, 50e6, func(pkt Packet) bool {
+		bits += float64(pkt.Bytes) * 8
+		return true
+	})
+	want := 0.0
+	for i := 0; i < 10; i++ {
+		f := frameOfBits(i, 1e5)
+		want += math.Ceil(1e5/8) * 8 // packetizer rounds to whole bytes
+		p.Enqueue(Packetize(f))
+	}
+	clk.Run(time.Second)
+	if p.QueueBits() != 0 {
+		t.Fatalf("queue not drained: %v", p.QueueBits())
+	}
+	if bits != want {
+		t.Fatalf("sent %v bits, want %v", bits, want)
+	}
+}
+
+func BenchmarkPacketize(b *testing.B) {
+	f := frameOfBits(0, 1e5)
+	for i := 0; i < b.N; i++ {
+		Packetize(f)
+	}
+}

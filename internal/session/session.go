@@ -1,0 +1,537 @@
+// Package session wires a complete POI360 telephony session: the 360°
+// source, a spatial-compression controller, the encoder, the RTP pacer,
+// the network transport (LTE uplink + core path, or wireline), the viewer
+// with a head-motion model, and the full feedback loop (ROI, mismatch time
+// M, and GCC rate), instrumented with every metric the paper's evaluation
+// reports.
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"poi360/internal/compress"
+	"poi360/internal/headmotion"
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+	"poi360/internal/netsim"
+	"poi360/internal/projection"
+	"poi360/internal/ratecontrol"
+	"poi360/internal/rtp"
+	"poi360/internal/simclock"
+	"poi360/internal/video"
+)
+
+// NetworkKind selects the access network under test.
+type NetworkKind int
+
+// Supported networks.
+const (
+	Cellular NetworkKind = iota
+	Wireline
+)
+
+func (n NetworkKind) String() string {
+	if n == Wireline {
+		return "wireline"
+	}
+	return "cellular"
+}
+
+// SchemeKind selects the spatial-compression controller.
+type SchemeKind int
+
+// Supported compression schemes.
+const (
+	SchemeAdaptive SchemeKind = iota // POI360
+	SchemeConduit
+	SchemePyramid
+	SchemeFixed // single Eq. 1 mode (ablation); set Config.FixedC
+)
+
+func (s SchemeKind) String() string {
+	switch s {
+	case SchemeConduit:
+		return "Conduit"
+	case SchemePyramid:
+		return "Pyramid"
+	case SchemeFixed:
+		return "Fixed"
+	default:
+		return "POI360"
+	}
+}
+
+// RCKind selects the transport rate control.
+type RCKind int
+
+// Supported rate controllers.
+const (
+	RCGCC RCKind = iota
+	RCFBCC
+)
+
+func (r RCKind) String() string {
+	if r == RCFBCC {
+		return "FBCC"
+	}
+	return "GCC"
+}
+
+// Config describes one telephony session.
+type Config struct {
+	Duration time.Duration
+
+	Network NetworkKind
+	Cell    lte.CellProfile    // used when Network == Cellular
+	Path    netsim.PathProfile // zero value → default for the network kind
+
+	Video video.Config // zero value → video.DefaultConfig()
+	FoV   projection.FoV
+
+	Scheme SchemeKind
+	FixedC float64 // for SchemeFixed
+
+	RC RCKind
+
+	User      headmotion.Profile // ignored when UserModel set
+	UserModel headmotion.Model   // optional explicit head-motion model
+
+	Seed int64
+
+	// MismatchWindow is the sliding window averaging M (default 500 ms).
+	MismatchWindow time.Duration
+
+	// PipelineDelay is the constant capture→encode plus decode→display
+	// processing latency added to the measured frame delay (the prototype's
+	// browser pipeline; §5 reports it comparable to conventional WebRTC
+	// telephony). Default 250 ms — a 2017 phone running 4K canvas capture,
+	// VP8 encode, decode and WebGL stereo rendering in a browser.
+	PipelineDelay time.Duration
+
+	// StatsWarmup excludes measurements recorded before this instant so
+	// steady-state statistics are not polluted by the rate controller's
+	// start-up ramp. Defaults to min(10 s, Duration/6).
+	StatsWarmup time.Duration
+
+	// ROIPrediction enables the §8 motion-based ROI predictor at the
+	// sender: the compression matrix is centered on the extrapolated
+	// viewer orientation instead of the last reported one. The paper
+	// argues the reliable prediction horizon (~120 ms) is below mobile
+	// interactive latency; the abl-predict experiment measures that.
+	ROIPrediction bool
+
+	// FrameHook, when set, is invoked for every displayed frame with the
+	// frame, the viewer's gaze tile at display time, and the measured ROI
+	// PSNR. Intended for instrumentation and tests.
+	FrameHook func(f *video.EncodedFrame, gaze projection.Tile, psnr float64)
+
+	// Ablation knobs (zero values keep the paper's design).
+	AdaptiveCs      []float64     // override mode set
+	AdaptiveQuantum time.Duration // override 200 ms quantum
+	FBCCK           int           // override Eq. 3 K
+	FBCCHoldRTTs    float64       // override the 2-RTT hold
+	DisableRTPLoop  bool          // FBCC without the Eq. 7 sweet-spot loop
+}
+
+// Default fills a Config's zero fields. It returns a copy.
+func (c Config) withDefaults() (Config, error) {
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.Video.FPS == 0 {
+		c.Video = video.DefaultConfig()
+	}
+	if err := c.Video.Validate(); err != nil {
+		return c, err
+	}
+	if c.FoV == (projection.FoV{}) {
+		c.FoV = projection.DefaultFoV
+	}
+	if c.Path.Name == "" {
+		if c.Network == Cellular {
+			c.Path = netsim.CellularPath
+		} else {
+			c.Path = netsim.WirelinePath
+		}
+	}
+	if c.Cell == (lte.CellProfile{}) {
+		c.Cell = lte.ProfileStrongIdle
+	}
+	if c.User.Name == "" {
+		c.User = headmotion.Users[1]
+	}
+	if c.MismatchWindow <= 0 {
+		c.MismatchWindow = 500 * time.Millisecond
+	}
+	if c.PipelineDelay == 0 {
+		c.PipelineDelay = 250 * time.Millisecond
+	}
+	if c.StatsWarmup == 0 {
+		c.StatsWarmup = 10 * time.Second
+		if c.Duration/6 < c.StatsWarmup {
+			c.StatsWarmup = c.Duration / 6
+		}
+	}
+	if c.StatsWarmup < 0 {
+		c.StatsWarmup = 0 // explicit "no warmup"
+	}
+	if c.Network == Wireline && c.RC == RCFBCC {
+		return c, fmt.Errorf("session: FBCC needs LTE modem diagnostics; use the cellular network")
+	}
+	if c.Scheme == SchemeFixed && c.FixedC <= 1 {
+		return c, fmt.Errorf("session: SchemeFixed requires FixedC > 1, got %g", c.FixedC)
+	}
+	return c, nil
+}
+
+// DiagSample is one modem diagnostic observation kept for Figs. 5/6/15.
+type DiagSample struct {
+	At          time.Duration
+	BufferBytes int
+	TBSRate     float64 // bits/s over the report interval
+}
+
+// Result aggregates everything measured in a session.
+type Result struct {
+	Config Config
+
+	// Per delivered frame, in delivery order.
+	FrameDelays []time.Duration
+	ROIPSNRs    []float64
+	ROILevels   []metrics.TimedSample // effective compression level at the displayed ROI
+	Mismatch    []metrics.TimedSample // window-averaged M fed back, seconds
+	Modes       []metrics.TimedSample // sender mode index at each frame (adaptive only)
+
+	// Rates.
+	VideoRate  []metrics.TimedSample // encoder target Rv, bits/s
+	RTPRate    []metrics.TimedSample // pacer rate Rrtp, bits/s
+	Throughput []float64             // received bits/s, one sample per second
+
+	// Modem diagnostics (cellular only).
+	Diag []DiagSample
+
+	FramesSent      int
+	FramesDelivered int
+	FramesLost      int
+	PacketDrops     int64
+
+	FBCCOveruses int
+}
+
+// FreezeRatio returns the fraction of frames frozen per the paper's
+// definition: delivered later than 600 ms, or never delivered.
+func (r *Result) FreezeRatio() float64 {
+	total := len(r.FrameDelays) + r.FramesLost
+	if total == 0 {
+		return 0
+	}
+	n := r.FramesLost
+	for _, d := range r.FrameDelays {
+		if d > metrics.FreezeThreshold {
+			n++
+		}
+	}
+	return float64(n) / float64(total)
+}
+
+// PSNRSummary summarizes the per-frame ROI PSNR.
+func (r *Result) PSNRSummary() metrics.Summary { return metrics.Summarize(r.ROIPSNRs) }
+
+// MOSPDF returns the MOS band distribution of delivered frames.
+func (r *Result) MOSPDF() [5]float64 { return metrics.MOSPDF(r.ROIPSNRs) }
+
+// DelaySummary summarizes per-frame delays in milliseconds.
+func (r *Result) DelaySummary() metrics.Summary {
+	ms := make([]float64, len(r.FrameDelays))
+	for i, d := range r.FrameDelays {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	return metrics.Summarize(ms)
+}
+
+// LevelStability returns the Fig. 12 metric: per-frame std of the displayed
+// ROI compression level over a trailing 2 s window.
+func (r *Result) LevelStability() []float64 {
+	return metrics.WindowStd(r.ROILevels, 2*time.Second)
+}
+
+// ThroughputSummary summarizes the per-second received throughput.
+func (r *Result) ThroughputSummary() metrics.Summary { return metrics.Summarize(r.Throughput) }
+
+// gccPacingFactor is WebRTC's pacing multiplier on the target bitrate,
+// allowing the application-layer queue to drain after transients.
+const gccPacingFactor = 1.5
+
+// feedback is the WebRTC-data-channel message the viewer returns every
+// frame interval (§5): current ROI, the averaged mismatch time, and the
+// receiver-side GCC target rate.
+type feedback struct {
+	roi         projection.Tile
+	orientation projection.Orientation
+	m           time.Duration
+	rgcc        float64
+}
+
+// Run executes a session to completion and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg}
+	clk := simclock.New()
+	g := cfg.Video.Grid
+
+	// --- Viewer state -------------------------------------------------
+	user := cfg.UserModel
+	if user == nil {
+		user = headmotion.NewStochastic(cfg.User, cfg.Seed+7)
+	}
+	mismatch := compress.NewMismatchEstimator(g, cfg.MismatchWindow)
+	gccCfg := ratecontrol.DefaultGCCConfig()
+	gccRx, err := ratecontrol.NewGCCReceiver(gccCfg)
+	if err != nil {
+		return nil, err
+	}
+	var lastM time.Duration
+
+	// --- Sender state ---------------------------------------------------
+	source := video.NewSource(withSeed(cfg.Video, cfg.Seed))
+	controller, err := makeController(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	var fbcc *ratecontrol.FBCC
+	if cfg.RC == RCFBCC {
+		fcfg := ratecontrol.DefaultFBCCConfig(cfg.Path.NominalRTT())
+		if cfg.FBCCK > 0 {
+			fcfg.K = cfg.FBCCK
+			if fcfg.Slack >= fcfg.K {
+				fcfg.Slack = fcfg.K - 1
+			}
+		}
+		if cfg.FBCCHoldRTTs > 0 {
+			fcfg.HoldRTTs = cfg.FBCCHoldRTTs
+		}
+		fbcc, err = ratecontrol.NewFBCC(fcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	roiBelief := g.TileAt(user.At(0))
+	rgcc := gccCfg.InitialRate
+
+	// --- Receiver plumbing -------------------------------------------
+	var transport netsim.Transport
+	var secondBits float64
+
+	reasm := rtp.NewReassembler(clk, func(cf rtp.CompletedFrame) {
+		now := cf.Arrived
+		delay := now - cf.Frame.Capture + cfg.PipelineDelay
+		actual := user.At(now)
+		psnr := cf.Frame.ROIPSNR(cfg.Video, actual, cfg.FoV)
+		level := cf.Frame.ROILevel(g, actual)
+		spatial := level / cf.Frame.Scale
+
+		if now >= cfg.StatsWarmup {
+			res.FrameDelays = append(res.FrameDelays, delay)
+			res.ROIPSNRs = append(res.ROIPSNRs, psnr)
+			res.ROILevels = append(res.ROILevels, metrics.TimedSample{At: now, V: level})
+			secondBits += cf.Bits
+		}
+
+		if cfg.FrameHook != nil {
+			cfg.FrameHook(cf.Frame, g.TileAt(actual), psnr)
+		}
+
+		// Eq. 2's dv floor uses the network one-way delay: the constant
+		// processing pipeline is not something mode switching can react
+		// to, and folding it in would pin the controller at conservative
+		// modes regardless of network state.
+		netDelay := delay - cfg.PipelineDelay
+		if netDelay < 0 {
+			netDelay = 0
+		}
+		lastM = mismatch.Observe(now, g.TileAt(actual), spatial, netDelay)
+	})
+
+	deliverFwd := func(p any) {
+		pkt := p.(rtp.Packet)
+		// GCC observes the network path per packet (RTP timestamps), as in
+		// WebRTC: one-way transport delay, excluding the app-layer queue.
+		gccRx.OnPacket(clk.Now(), clk.Now()-pkt.SentAt, float64(pkt.Bytes)*8, pkt.Seq)
+		reasm.OnPacket(pkt)
+	}
+	predictor := headmotion.NewPredictor(0)
+	deliverRev := func(p any) {
+		fb := p.(feedback)
+		roiBelief = fb.roi
+		predictor.Observe(clk.Now(), fb.orientation)
+		controller.ObserveMismatch(fb.m)
+		rgcc = fb.rgcc
+	}
+
+	if cfg.Network == Cellular {
+		lcfg := lte.DefaultConfig(cfg.Cell)
+		lcfg.Profile.Seed = cfg.Seed + 1
+		cell, err := netsim.NewCellular(clk, lcfg, cfg.Path, deliverFwd, deliverRev)
+		if err != nil {
+			return nil, err
+		}
+		transport = cell
+	} else {
+		transport = netsim.NewWireline(clk, cfg.Seed+1, cfg.Path, deliverFwd, deliverRev)
+	}
+
+	// --- Pacer --------------------------------------------------------
+	initialRate := rgcc
+	if fbcc != nil {
+		initialRate = fbcc.RTPRate()
+	}
+	pacer := rtp.NewPacer(clk, rtp.DefaultPacerTick, initialRate, func(pkt rtp.Packet) bool {
+		return transport.Send(pkt.Bytes, pkt)
+	})
+
+	// --- Modem diagnostics → FBCC + traces -----------------------------
+	transport.SetDiagListener(func(rep lte.DiagReport) {
+		dur := time.Duration(rep.Subframes) * lte.Subframe
+		rate := 0.0
+		if dur > 0 {
+			rate = rep.SumTBSBits / dur.Seconds()
+		}
+		if rep.At >= cfg.StatsWarmup {
+			res.Diag = append(res.Diag, DiagSample{At: rep.At, BufferBytes: rep.BufferBytes, TBSRate: rate})
+		}
+		if fbcc != nil {
+			fbcc.OnDiag(rep)
+			if !cfg.DisableRTPLoop {
+				pacer.SetRate(fbcc.RTPRate())
+			}
+		}
+	})
+
+	// --- Sender frame loop ---------------------------------------------
+	frameInterval := cfg.Video.FrameInterval()
+	clk.Ticker(frameInterval, func() {
+		now := clk.Now()
+		frame := source.NextFrame(now)
+		roiUsed := roiBelief
+		if cfg.ROIPrediction {
+			// Aim the matrix at where the viewer will be looking when this
+			// frame is displayed (one pipeline + core-path delay ahead),
+			// bounded by the predictor's reliable horizon.
+			target := now + cfg.PipelineDelay + cfg.Path.CoreBase
+			roiUsed = g.TileAt(predictor.Predict(target))
+		}
+		matrix, mode := controller.Levels(roiUsed)
+
+		rv := rgcc
+		if fbcc != nil {
+			rv = fbcc.VideoRate(now, rgcc)
+			fbcc.SetVideoRate(rv)
+		}
+		budget := rv / float64(cfg.Video.FPS)
+		ef := video.Encode(&frame, matrix, budget, roiUsed, mode, cfg.Video.MaxScale)
+		pacer.Enqueue(rtp.Packetize(&ef))
+		res.FramesSent++
+
+		switch {
+		case fbcc == nil:
+			// WebRTC's default: RTP sending rate tracks the video bitrate
+			// (§3.3) — the behaviour that starves the firmware buffer. The
+			// real pacer applies a modest pacing factor so a transient
+			// backlog in the video buffer can drain.
+			pacer.SetRate(gccPacingFactor * rv)
+		case cfg.DisableRTPLoop:
+			// Ablation: strictly match Rrtp to Rv as §3.3 describes —
+			// no sweet-spot steering, no pacing headroom.
+			pacer.SetRate(rv)
+		}
+
+		if now >= cfg.StatsWarmup {
+			res.VideoRate = append(res.VideoRate, metrics.TimedSample{At: now, V: rv})
+			res.RTPRate = append(res.RTPRate, metrics.TimedSample{At: now, V: pacer.Rate()})
+			res.Modes = append(res.Modes, metrics.TimedSample{At: now, V: float64(mode)})
+		}
+	})
+
+	// --- Viewer feedback loop (same cadence as frames, §5) --------------
+	clk.Ticker(frameInterval, func() {
+		now := clk.Now()
+		actual := user.At(now)
+		fb := feedback{
+			roi:         g.TileAt(actual),
+			orientation: actual,
+			m:           lastM,
+			rgcc:        gccRx.Update(now),
+		}
+		if now >= cfg.StatsWarmup {
+			res.Mismatch = append(res.Mismatch, metrics.TimedSample{At: now, V: fb.m.Seconds()})
+		}
+		transport.SendFeedback(fb)
+	})
+
+	// --- Per-second throughput sampling ---------------------------------
+	clk.Ticker(time.Second, func() {
+		if clk.Now() > cfg.StatsWarmup {
+			res.Throughput = append(res.Throughput, secondBits)
+		}
+		secondBits = 0
+	})
+
+	// Snapshot cumulative counters at the warmup boundary so loss/delivery
+	// statistics cover the same steady-state window as everything else.
+	var lostAtWarmup, sentAtWarmup, deliveredAtWarmup int
+	clk.Schedule(cfg.StatsWarmup, func() {
+		lostAtWarmup = int(reasm.Lost())
+		deliveredAtWarmup = int(reasm.Completed())
+		sentAtWarmup = res.FramesSent
+	})
+
+	clk.Run(cfg.Duration)
+
+	res.FramesSent -= sentAtWarmup
+	res.FramesDelivered = int(reasm.Completed()) - deliveredAtWarmup
+	res.FramesLost = int(reasm.Lost()) - lostAtWarmup
+	res.PacketDrops = pacer.Drops()
+	if fbcc != nil {
+		res.FBCCOveruses = fbcc.Overuses()
+	}
+	return res, nil
+}
+
+func withSeed(v video.Config, seed int64) video.Config {
+	v.Seed = seed + 3
+	return v
+}
+
+func makeController(cfg Config, g projection.Grid) (compress.Controller, error) {
+	switch cfg.Scheme {
+	case SchemeAdaptive:
+		if len(cfg.AdaptiveCs) > 0 || cfg.AdaptiveQuantum > 0 {
+			cs := cfg.AdaptiveCs
+			if len(cs) == 0 {
+				cs = compress.DefaultModeCs()
+			}
+			q := cfg.AdaptiveQuantum
+			if q <= 0 {
+				q = compress.ModeQuantum
+			}
+			return compress.NewAdaptiveWith(g, cs, q), nil
+		}
+		return compress.NewAdaptive(g), nil
+	case SchemeConduit:
+		return compress.NewConduit(g), nil
+	case SchemePyramid:
+		return compress.NewPyramid(g), nil
+	case SchemeFixed:
+		return compress.NewFixed(g, cfg.FixedC), nil
+	default:
+		return nil, fmt.Errorf("session: unknown scheme %d", cfg.Scheme)
+	}
+}
+
+// DefaultVideo returns the default video configuration used by sessions,
+// exposed so callers can tweak measurement parameters.
+func DefaultVideo() video.Config { return video.DefaultConfig() }

@@ -1,0 +1,175 @@
+// Package simclock provides a deterministic discrete-event simulation
+// engine used by every POI360 substrate (LTE link, network path, video
+// pipeline). A single goroutine owns the event loop; components schedule
+// callbacks at absolute or relative virtual times and the engine executes
+// them in time order with FIFO tie-breaking, so a given seed always yields
+// the same trajectory.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Events compare by time, then by insertion
+// sequence so simultaneous events run in the order they were scheduled.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// create one with New.
+type Clock struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+// New returns a Clock positioned at virtual time zero with no pending events.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now reports the current virtual time (elapsed since simulation start).
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct{ e *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil {
+		h.e.canceled = true
+	}
+}
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// panics: it indicates a logic error in the caller, and silently reordering
+// time would corrupt every downstream measurement.
+func (c *Clock) Schedule(at time.Duration, fn func()) Handle {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
+	}
+	e := &event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return Handle{e}
+}
+
+// ScheduleAfter runs fn after delay d (d < 0 is treated as 0).
+func (c *Clock) ScheduleAfter(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return c.Schedule(c.now+d, fn)
+}
+
+// Ticker invokes fn every period, starting one period from now, until the
+// returned stop function is called. fn observes the tick time via Clock.Now.
+func (c *Clock) Ticker(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			c.ScheduleAfter(period, tick)
+		}
+	}
+	c.ScheduleAfter(period, tick)
+	return func() { stopped = true }
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports false when no events remain.
+func (c *Clock) Step() bool {
+	for c.events.Len() > 0 {
+		e := heap.Pop(&c.events).(*event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the event queue is empty or the next
+// event lies beyond until. The clock finishes positioned at until (or at the
+// last event time if that is later — it never rewinds).
+func (c *Clock) Run(until time.Duration) {
+	for c.events.Len() > 0 {
+		// Peek.
+		next := c.events[0]
+		if next.canceled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		heap.Pop(&c.events)
+		c.now = next.at
+		next.fn()
+	}
+	if c.now < until {
+		c.now = until
+	}
+}
+
+// Pending reports the number of live (non-cancelled) events in the queue.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}

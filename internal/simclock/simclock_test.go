@@ -1,0 +1,285 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNowStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	c.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	c.Run(time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	c := New()
+	var got []int
+	at := 5 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(at, func() { got = append(got, i) })
+	}
+	c.Run(time.Second)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	c := New()
+	var seen time.Duration
+	c.Schedule(42*time.Millisecond, func() { seen = c.Now() })
+	c.Run(time.Second)
+	if seen != 42*time.Millisecond {
+		t.Fatalf("event saw Now()=%v, want 42ms", seen)
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("after Run, Now()=%v, want 1s", c.Now())
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(2*time.Second, func() { fired = true })
+	c.Run(time.Second)
+	if fired {
+		t.Fatal("event beyond until fired")
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("Now()=%v, want 1s", c.Now())
+	}
+	c.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire on later Run")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.Schedule(time.Second, func() {})
+	c.Run(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.Schedule(500*time.Millisecond, func() {})
+}
+
+func TestScheduleAfterNegativeClamps(t *testing.T) {
+	c := New()
+	fired := false
+	c.ScheduleAfter(-time.Second, func() { fired = true })
+	c.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event should fire immediately")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	h := c.Schedule(time.Millisecond, func() { fired = true })
+	h.Cancel()
+	c.Run(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel is a no-op.
+	h.Cancel()
+}
+
+func TestCancelOneOfTwo(t *testing.T) {
+	c := New()
+	var got []int
+	h := c.Schedule(time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(time.Millisecond, func() { got = append(got, 2) })
+	h.Cancel()
+	c.Run(time.Second)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	c := New()
+	var ticks []time.Duration
+	stop := c.Ticker(10*time.Millisecond, func() {
+		ticks = append(ticks, c.Now())
+		if len(ticks) == 3 {
+			// stop from within the callback
+		}
+	})
+	c.Run(35 * time.Millisecond)
+	stop()
+	c.Run(100 * time.Millisecond)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (%v)", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	c := New()
+	n := 0
+	var stop func()
+	stop = c.Ticker(time.Millisecond, func() {
+		n++
+		if n == 2 {
+			stop()
+		}
+	})
+	c.Run(time.Second)
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	New().Ticker(0, func() {})
+}
+
+func TestStep(t *testing.T) {
+	c := New()
+	n := 0
+	c.Schedule(time.Millisecond, func() { n++ })
+	c.Schedule(2*time.Millisecond, func() { n++ })
+	if !c.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if n != 1 || c.Now() != time.Millisecond {
+		t.Fatalf("after one step n=%d now=%v", n, c.Now())
+	}
+	if !c.Step() {
+		t.Fatal("second Step returned false")
+	}
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestPending(t *testing.T) {
+	c := New()
+	h1 := c.Schedule(time.Millisecond, func() {})
+	c.Schedule(time.Millisecond, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("Pending=%d, want 2", c.Pending())
+	}
+	h1.Cancel()
+	if c.Pending() != 1 {
+		t.Fatalf("Pending=%d after cancel, want 1", c.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	c := New()
+	var got []time.Duration
+	c.Schedule(time.Millisecond, func() {
+		c.ScheduleAfter(time.Millisecond, func() {
+			got = append(got, c.Now())
+		})
+	})
+	c.Run(time.Second)
+	if len(got) != 1 || got[0] != 2*time.Millisecond {
+		t.Fatalf("nested event fired at %v, want [2ms]", got)
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		c := New()
+		var fired []time.Duration
+		for _, d := range delaysMs {
+			at := time.Duration(d) * time.Millisecond
+			c.Schedule(at, func() { fired = append(fired, c.Now()) })
+		}
+		c.Run(time.Duration(1<<16) * time.Millisecond)
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random interleaving of schedules and cancels fires exactly the
+// non-cancelled events.
+func TestPropertyCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		c := New()
+		fired := map[int]bool{}
+		var handles []Handle
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			i := i
+			h := c.Schedule(time.Duration(rng.Intn(100))*time.Millisecond, func() { fired[i] = true })
+			handles = append(handles, h)
+		}
+		cancelled := map[int]bool{}
+		for i := range handles {
+			if rng.Intn(2) == 0 {
+				handles[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		c.Run(time.Second)
+		for i := 0; i < n; i++ {
+			if cancelled[i] && fired[i] {
+				t.Fatalf("iter %d: cancelled event %d fired", iter, i)
+			}
+			if !cancelled[i] && !fired[i] {
+				t.Fatalf("iter %d: live event %d did not fire", iter, i)
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 1000; j++ {
+			c.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		c.Run(time.Second)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("t1", "Demo", "name", "value")
+	tab.Add("alpha", "1")
+	tab.Add("beta", "22")
+	tab.Note("a note with %d", 42)
+	out := tab.String()
+	for _, want := range []string{"t1 — Demo", "name", "alpha", "22", "note: a note with 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddWrongArity(t *testing.T) {
+	tab := New("t", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on arity mismatch")
+		}
+	}()
+	tab.Add("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := New("t", "x", "a", "b")
+	tab.Add("1", "2")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s1 := Series{Name: "s1"}
+	s1.Append(1, 2)
+	s1.Append(3, 4)
+	s2 := Series{Name: "s2"}
+	s2.Append(9, 8)
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "s1_x,s1_y,s2_x,s2_y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "3,4,," {
+		t.Fatalf("padded row = %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.5000, 4) != "1.5" {
+		t.Fatalf("F = %q", F(1.5, 4))
+	}
+	if F(2, 3) != "2" {
+		t.Fatalf("F = %q", F(2, 3))
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+	if Mbps(2.5e6) != "2.50 Mbps" {
+		t.Fatalf("Mbps = %q", Mbps(2.5e6))
+	}
+	if Ms(460.4) != "460 ms" {
+		t.Fatalf("Ms = %q", Ms(460.4))
+	}
+	if DB(31.25) != "31.2 dB" && DB(31.25) != "31.3 dB" {
+		t.Fatalf("DB = %q", DB(31.25))
+	}
+}

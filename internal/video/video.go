@@ -1,0 +1,285 @@
+// Package video models the 360° video pipeline of POI360 at the tile and
+// bit level. It deliberately stops short of pixels: rate control and
+// ROI-based spatial compression act on per-tile bit budgets and a
+// PSNR-versus-compression-level curve, which is the granularity at which
+// the paper's mechanisms and metrics operate.
+//
+// The model is calibrated to the paper's prototype: a 4K equirectangular
+// stream with 12.65 Mbps raw bitrate (§6.1.1) split over a 12×8 tile grid
+// (§5), and uncompressed quality around 42 dB PSNR dropping with the
+// logarithm of the compression level.
+package video
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"poi360/internal/projection"
+)
+
+// Config describes the synthetic 360° source and quality model.
+type Config struct {
+	Grid          projection.Grid
+	FPS           int     // frames per second
+	RawBitsPerSec float64 // raw (uncompressed-by-us, camera-encoded) stream bitrate
+	PSNRMax       float64 // dB at compression level 1
+	PSNRMin       float64 // dB floor
+	Gamma         float64 // dB lost per 10·log10 of compression level
+	ContentJitter float64 // per-frame content-difficulty noise, dB std
+	Hotspotten    bool    // content concentrates bits near moving hotspots
+	// FoveaSigma is the Gaussian width (degrees) of the foveation weight
+	// used when measuring ROI quality: human acuity peaks at the gaze
+	// center and drops roughly quadratically with eccentricity (§2), so
+	// ROI-PSNR weighs tiles by exp(−d²/2σ²)·solidAngle.
+	FoveaSigma float64
+	// MaxScale bounds the encoder's bitrate-targeted quality reduction on
+	// top of spatial compression (a VP8-class codec runs out of quantizer
+	// range): a frame cannot shrink below spatialBits/MaxScale, so schemes
+	// with conservative spatial matrices carry a hard bitrate floor.
+	MaxScale float64
+	Seed     int64
+}
+
+// DefaultConfig matches the paper's prototype numbers.
+func DefaultConfig() Config {
+	return Config{
+		Grid:          projection.DefaultGrid,
+		FPS:           30,
+		RawBitsPerSec: 12.65e6,
+		PSNRMax:       42,
+		PSNRMin:       8,
+		Gamma:         1.5,
+		ContentJitter: 1.0,
+		Hotspotten:    true,
+		FoveaSigma:    12,
+		MaxScale:      12,
+		Seed:          1,
+	}
+}
+
+// Validate reports an error for incoherent configurations.
+func (c Config) Validate() error {
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.FPS <= 0 {
+		return fmt.Errorf("video: FPS must be positive, got %d", c.FPS)
+	}
+	if c.RawBitsPerSec <= 0 {
+		return fmt.Errorf("video: raw bitrate must be positive, got %g", c.RawBitsPerSec)
+	}
+	if c.PSNRMax <= c.PSNRMin {
+		return fmt.Errorf("video: PSNRMax %g must exceed PSNRMin %g", c.PSNRMax, c.PSNRMin)
+	}
+	if c.Gamma <= 0 {
+		return fmt.Errorf("video: Gamma must be positive, got %g", c.Gamma)
+	}
+	return nil
+}
+
+// FrameInterval returns the capture interval between frames.
+func (c Config) FrameInterval() time.Duration {
+	return time.Duration(float64(time.Second) / float64(c.FPS))
+}
+
+// Frame is one raw 360° frame: the bits each tile would cost at compression
+// level 1, before spatial compression and encoding.
+type Frame struct {
+	Seq      int
+	Capture  time.Duration
+	TileBits []float64 // indexed by Grid.Index
+	Jitter   float64   // content-difficulty offset in dB for this frame
+}
+
+// RawBits returns the total raw size of the frame in bits.
+func (f *Frame) RawBits() float64 {
+	s := 0.0
+	for _, b := range f.TileBits {
+		s += b
+	}
+	return s
+}
+
+// Source produces a deterministic synthetic 360° stream. It stands in for
+// the paper's v4l2loopback virtual webcam replaying a 4K capture: repeatable
+// traffic with spatially non-uniform, slowly wandering content complexity.
+type Source struct {
+	cfg Config
+	rng *rand.Rand
+	seq int
+	// Content hotspot (a region with more detail/motion) drifting in yaw.
+	hotYaw   float64
+	hotDrift float64
+	weights  []float64 // scratch, per tile
+}
+
+// NewSource returns a Source for cfg. It panics on invalid configs — a
+// source cannot operate at all without a coherent config, and construction
+// happens at setup time.
+func NewSource(cfg Config) *Source {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Source{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		hotYaw:   90,
+		hotDrift: 12, // degrees per second
+		weights:  make([]float64, cfg.Grid.Tiles()),
+	}
+}
+
+// Config returns the source configuration.
+func (s *Source) Config() Config { return s.cfg }
+
+// NextFrame produces the frame captured at time now. Frames are numbered
+// sequentially from 0.
+func (s *Source) NextFrame(now time.Duration) Frame {
+	g := s.cfg.Grid
+	perFrame := s.cfg.RawBitsPerSec / float64(s.cfg.FPS)
+
+	// Base spatial weight: solid angle of the tile (equirectangular frames
+	// oversample the poles; a real encoder spends bits roughly per content,
+	// which tracks solid angle).
+	total := 0.0
+	for j := 0; j < g.H; j++ {
+		w := g.AreaWeight(j)
+		for i := 0; i < g.W; i++ {
+			f := 1.0
+			if s.cfg.Hotspotten {
+				c := g.Center(projection.Tile{I: i, J: j})
+				d := math.Abs(projection.NormalizeYaw(c.Yaw - s.hotYaw))
+				if d > 180 {
+					d = 360 - d
+				}
+				// Up to 2× bits near the hotspot, decaying over ~90°.
+				f = 1 + math.Exp(-d*d/(2*45*45))
+			}
+			s.weights[g.Index(projection.Tile{I: i, J: j})] = w * f
+			total += w * f
+		}
+	}
+
+	bits := make([]float64, g.Tiles())
+	for idx, w := range s.weights {
+		bits[idx] = perFrame * w / total
+	}
+
+	frame := Frame{
+		Seq:      s.seq,
+		Capture:  now,
+		TileBits: bits,
+		Jitter:   s.rng.NormFloat64() * s.cfg.ContentJitter,
+	}
+	s.seq++
+	// Drift the hotspot with a touch of randomness.
+	s.hotYaw = projection.NormalizeYaw(s.hotYaw + s.hotDrift/float64(s.cfg.FPS) + s.rng.NormFloat64()*0.2)
+	return frame
+}
+
+// PSNRForLevel maps an effective compression level (≥1) to PSNR in dB under
+// cfg's quality curve, before per-frame content jitter.
+func (c Config) PSNRForLevel(level float64) float64 {
+	if level < 1 {
+		level = 1
+	}
+	p := c.PSNRMax - c.Gamma*10*math.Log10(level)
+	return math.Max(c.PSNRMin, p)
+}
+
+// EncodedFrame is a frame after spatial compression (the per-tile level
+// matrix) and bitrate-targeted encoding (the uniform scale applied by the
+// encoder when the spatially-compressed frame still exceeds the bit budget).
+type EncodedFrame struct {
+	Seq     int
+	Capture time.Duration
+	Bits    float64   // total encoded size in bits
+	Levels  []float64 // effective per-tile compression levels (spatial × scale)
+	Scale   float64   // uniform encoder scale ≥ 1
+	Jitter  float64   // content-difficulty offset carried from the raw frame
+	// SenderROI is the sender's (possibly stale) belief of the viewer ROI
+	// used when choosing the spatial matrix; embedded in the frame like the
+	// prototype embeds compression metadata in the canvas (§5).
+	SenderROI projection.Tile
+	// Mode is an opaque label of the compression mode used (for traces).
+	Mode int
+}
+
+// Encode applies a spatial compression matrix (per-tile levels ≥ 1, indexed
+// by Grid.Index) and then, if the result still exceeds budgetBits, an
+// additional uniform encoder scale so the frame fits the rate controller's
+// per-frame budget. A budget ≤ 0 means "no budget" (spatial only). The
+// scale is capped at maxScale (≤ 0 means unbounded), so a frame can never
+// shrink below spatialBits/maxScale — the codec's quantizer floor.
+func Encode(f *Frame, levels []float64, budgetBits float64, senderROI projection.Tile, mode int, maxScale float64) EncodedFrame {
+	if len(levels) != len(f.TileBits) {
+		panic(fmt.Sprintf("video: levels size %d != tiles %d", len(levels), len(f.TileBits)))
+	}
+	spatial := 0.0
+	for idx, b := range f.TileBits {
+		l := levels[idx]
+		if l < 1 {
+			l = 1
+		}
+		spatial += b / l
+	}
+	scale := 1.0
+	if budgetBits > 0 && spatial > budgetBits {
+		scale = spatial / budgetBits
+	}
+	if maxScale > 0 && scale > maxScale {
+		scale = maxScale
+	}
+	eff := make([]float64, len(levels))
+	for idx, l := range levels {
+		if l < 1 {
+			l = 1
+		}
+		eff[idx] = l * scale
+	}
+	return EncodedFrame{
+		Seq:       f.Seq,
+		Capture:   f.Capture,
+		Bits:      spatial / scale,
+		Levels:    eff,
+		Scale:     scale,
+		Jitter:    f.Jitter,
+		SenderROI: senderROI,
+		Mode:      mode,
+	}
+}
+
+// ROIPSNR returns the viewer-perceived PSNR of the region the viewer is
+// actually looking at: the solid-angle-weighted mean PSNR of the tiles
+// inside the viewer's FoV centered at actualROI. This mirrors the paper's
+// measurement methodology (§5): the client dumps only its displayed ROI and
+// quality is compared there, not across the whole panorama.
+func (ef *EncodedFrame) ROIPSNR(cfg Config, actual projection.Orientation, fov projection.FoV) float64 {
+	g := cfg.Grid
+	vis := g.VisibleTiles(actual, fov)
+	sigma := cfg.FoveaSigma
+	if sigma <= 0 {
+		sigma = 25
+	}
+	num, den := 0.0, 0.0
+	for _, tl := range vis {
+		d := projection.AngularDistance(g.Center(tl), actual)
+		w := g.AreaWeight(tl.J) * math.Exp(-d*d/(2*sigma*sigma))
+		num += w * cfg.PSNRForLevel(ef.Levels[g.Index(tl)])
+		den += w
+	}
+	if den == 0 {
+		return cfg.PSNRMin
+	}
+	p := num/den + ef.Jitter
+	return math.Max(cfg.PSNRMin, math.Min(cfg.PSNRMax+3, p))
+}
+
+// ROILevel returns the effective compression level at the viewer's actual
+// ROI center tile — the quantity whose short-term variance the paper uses
+// for its stability metric (Fig. 12).
+func (ef *EncodedFrame) ROILevel(g projection.Grid, actual projection.Orientation) float64 {
+	return ef.Levels[g.Index(g.TileAt(actual))]
+}

@@ -1,0 +1,182 @@
+// Package poi360 is a from-scratch Go reproduction of "POI360: Panoramic
+// Mobile Video Telephony over LTE Cellular Networks" (Xie & Zhang, ACM
+// CoNEXT 2017). It implements the paper's two contributions — adaptive
+// ROI-based spatial compression for 360° video (§4.2) and Firmware-Buffer-
+// aware Congestion Control over the LTE uplink (§4.3) — together with every
+// substrate they need: a subframe-level LTE uplink model with modem
+// diagnostics, an end-to-end network path, a tile-level 360° video
+// pipeline, head-motion viewer models, a WebRTC-style GCC baseline, and the
+// benchmark compression schemes (Conduit, Pyramid) the paper compares
+// against.
+//
+// # Quick start
+//
+//	res, err := poi360.RunSession(poi360.SessionConfig{
+//		Duration: 60 * time.Second,
+//		Scheme:   poi360.SchemeAdaptive,
+//		RC:       poi360.RCFBCC,
+//	})
+//	fmt.Printf("PSNR %.1f dB, freeze %.2f%%\n",
+//		res.PSNRSummary().Mean, 100*res.FreezeRatio())
+//
+// # Reproducing the paper
+//
+// Every table and figure of the evaluation has a named experiment:
+//
+//	rep, err := poi360.RunExperiment("fig16a", poi360.ExperimentOptions{})
+//	for _, t := range rep.Tables { fmt.Print(t) }
+//
+// or run `go test -bench .` / the poi360-bench command for the whole suite.
+package poi360
+
+import (
+	"fmt"
+
+	"poi360/internal/experiments"
+	"poi360/internal/headmotion"
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+	"poi360/internal/netsim"
+	"poi360/internal/projection"
+	"poi360/internal/session"
+	"poi360/internal/trace"
+	"poi360/internal/video"
+)
+
+// SessionConfig describes one telephony session. The zero value runs 60 s
+// of POI360 adaptive compression over GCC on a strong idle cell with the
+// "typical" user.
+type SessionConfig = session.Config
+
+// SessionResult holds every measurement of a finished session.
+type SessionResult = session.Result
+
+// RunSession executes one telephony session to completion.
+func RunSession(cfg SessionConfig) (*SessionResult, error) { return session.Run(cfg) }
+
+// Network kinds.
+const (
+	Cellular = session.Cellular
+	Wireline = session.Wireline
+)
+
+// Compression schemes.
+const (
+	SchemeAdaptive = session.SchemeAdaptive // POI360 (§4.2)
+	SchemeConduit  = session.SchemeConduit
+	SchemePyramid  = session.SchemePyramid
+	SchemeFixed    = session.SchemeFixed
+)
+
+// Rate controllers.
+const (
+	RCGCC  = session.RCGCC  // WebRTC's Google Congestion Control
+	RCFBCC = session.RCFBCC // POI360's FBCC (§4.3)
+)
+
+// CellProfile describes the simulated radio environment.
+type CellProfile = lte.CellProfile
+
+// Cell profiles matching the paper's field-test conditions.
+var (
+	CellStrongIdle = lte.ProfileStrongIdle // −73 dBm, idle cell
+	CellModerate   = lte.ProfileModerate   // −82 dBm, light load
+	CellWeak       = lte.ProfileWeak       // −115 dBm parking garage
+	CellBusy       = lte.ProfileBusy       // campus at noon
+	CellCampus     = lte.ProfileCampus     // §6.1 microbenchmark cell (~2.2 Mbps)
+)
+
+// PathProfile describes the wide-area path beyond the access link.
+type PathProfile = netsim.PathProfile
+
+// Path profiles.
+var (
+	PathCellular = netsim.CellularPath
+	PathWireline = netsim.WirelinePath
+)
+
+// UserProfile parameterizes a simulated viewer's head motion.
+type UserProfile = headmotion.Profile
+
+// Users are the five simulated participants (§6: five users, distinct
+// content and behaviour).
+var Users = headmotion.Users
+
+// UserByName finds a user profile ("calm", "typical", "curious",
+// "restless", "scanner").
+func UserByName(name string) (UserProfile, error) { return headmotion.UserByName(name) }
+
+// VideoConfig describes the synthetic 4K 360° source and quality model.
+type VideoConfig = video.Config
+
+// DefaultVideoConfig matches the paper's prototype (12.65 Mbps raw 4K,
+// 12×8 tiles, 30 fps).
+func DefaultVideoConfig() VideoConfig { return video.DefaultConfig() }
+
+// Orientation is a viewing direction (yaw/pitch in degrees).
+type Orientation = projection.Orientation
+
+// Grid is the tile layout of the equirectangular frame.
+type Grid = projection.Grid
+
+// DefaultGrid is the paper's 12×8 tile grid.
+var DefaultGrid = projection.DefaultGrid
+
+// MOS is a Mean Opinion Score band (Table 1).
+type MOS = metrics.MOS
+
+// MOS bands.
+const (
+	MOSBad       = metrics.Bad
+	MOSPoor      = metrics.Poor
+	MOSFair      = metrics.Fair
+	MOSGood      = metrics.Good
+	MOSExcellent = metrics.Excellent
+)
+
+// MOSForPSNR maps PSNR (dB) to its MOS band per Table 1.
+func MOSForPSNR(psnr float64) MOS { return metrics.MOSForPSNR(psnr) }
+
+// ExperimentOptions scale an experiment run (quick vs full, seeds, session
+// length, progress output).
+type ExperimentOptions = experiments.Options
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// Report is an experiment's output: printable tables, raw curves, and the
+// headline numbers.
+type Report = experiments.Report
+
+// Table is a printable result grid.
+type Table = trace.Table
+
+// Series is a raw experiment curve (CDF, scatter, sweep).
+type Series = trace.Series
+
+// Experiments lists every reproduction experiment in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment runs the experiment with the given ID ("fig5" … "fig17ef",
+// "table1", "abl-…").
+func RunExperiment(id string, opts ExperimentOptions) (*Report, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
+
+// Summary formats the headline metrics of a session result in one line.
+func Summary(res *SessionResult) string {
+	return fmt.Sprintf("%s/%s over %s: %d frames, PSNR %.1f dB, median delay %.0f ms, freeze %.2f%%, throughput %.2f Mbps",
+		res.Config.Scheme, res.Config.RC, res.Config.Network,
+		res.FramesDelivered,
+		res.PSNRSummary().Mean,
+		res.DelaySummary().Median,
+		100*res.FreezeRatio(),
+		res.ThroughputSummary().Mean/1e6)
+}

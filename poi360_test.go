@@ -1,0 +1,96 @@
+package poi360
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSessionDefaults(t *testing.T) {
+	res, err := RunSession(SessionConfig{Duration: 15 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDelivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+	s := Summary(res)
+	for _, want := range []string{"POI360", "cellular", "PSNR", "freeze"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestRunSessionFBCC(t *testing.T) {
+	res, err := RunSession(SessionConfig{
+		Duration: 15 * time.Second,
+		Scheme:   SchemeAdaptive,
+		RC:       RCFBCC,
+		Cell:     CellCampus,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDelivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	if len(Experiments()) < 15 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	rep, err := RunExperiment("table1", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatal("table1 should yield one table")
+	}
+	out := rep.Tables[0].String()
+	if !strings.Contains(out, "Excellent") {
+		t.Fatalf("table1 output:\n%s", out)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("figX", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestMOSForPSNR(t *testing.T) {
+	if MOSForPSNR(40) != MOSExcellent || MOSForPSNR(10) != MOSBad {
+		t.Fatal("MOS mapping broken")
+	}
+}
+
+func TestUserByName(t *testing.T) {
+	u, err := UserByName("scanner")
+	if err != nil || u.Name != "scanner" {
+		t.Fatalf("UserByName: %v %v", u, err)
+	}
+	if len(Users) != 5 {
+		t.Fatalf("users = %d", len(Users))
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	if CellWeak.RSSdBm >= CellStrongIdle.RSSdBm {
+		t.Fatal("cell profiles inverted")
+	}
+	if PathCellular.NominalRTT() <= PathWireline.NominalRTT() {
+		t.Fatal("path profiles inverted")
+	}
+	if DefaultGrid.W != 12 || DefaultGrid.H != 8 {
+		t.Fatal("grid mismatch")
+	}
+	if DefaultVideoConfig().FPS != 30 {
+		t.Fatal("video config mismatch")
+	}
+}

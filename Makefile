@@ -1,0 +1,44 @@
+# POI360 reproduction — build/verify targets.
+#
+# `make ci` runs the exact pipeline .github/workflows/ci.yml runs, so a
+# green local `make ci` means a green CI run (and vice versa).
+
+GO ?= go
+
+.PHONY: all build test race lint fmt bench-smoke ci
+
+all: build
+
+## build: compile every package and command.
+build:
+	$(GO) build ./...
+
+## test: the tier-1 test suite.
+test:
+	$(GO) test ./...
+
+## race: the suite under the race detector (short mode; the parallel
+## experiment engine is exercised with multiple workers either way).
+race:
+	$(GO) test -race -short ./...
+
+## lint: gofmt cleanliness plus go vet.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+## fmt: rewrite files in place with gofmt.
+fmt:
+	gofmt -w .
+
+## bench-smoke: run every benchmark exactly once (no -run tests) to catch
+## bit-rot in the figure-regeneration and engine-scaling benchmarks.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+## ci: the umbrella target the GitHub workflow fans out over.
+ci: build lint test race bench-smoke
+	@echo "ci: all checks passed"

@@ -5,8 +5,12 @@
 //	poi360-bench                         # run every experiment at full scale
 //	poi360-bench -experiment fig16a      # one experiment
 //	poi360-bench -quick                  # shrunken sessions (seconds, not minutes)
+//	poi360-bench -workers 1              # force sequential sessions (same output)
 //	poi360-bench -csv out/               # also dump raw curves as CSV
 //	poi360-bench -list                   # list experiment IDs
+//
+// Sessions of a batch run on a bounded worker pool (default GOMAXPROCS);
+// for a fixed -seed the printed tables are byte-identical at any -workers.
 //
 // Each experiment prints the paper's reported result next to the measured
 // one so the reproduction quality is visible at a glance.
@@ -34,6 +38,7 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to dump raw curve CSVs into")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		verbose = flag.Bool("v", false, "print per-session progress")
+		workers = flag.Int("workers", 0, "max concurrent sessions per batch (0 = GOMAXPROCS, 1 = sequential; output is identical either way for a fixed -seed)")
 	)
 	flag.Parse()
 
@@ -49,6 +54,7 @@ func main() {
 		Seed:    *seed,
 		Users:   *users,
 		Repeats: *repeats,
+		Workers: *workers,
 	}
 	if *secs > 0 {
 		opts.SessionTime = time.Duration(*secs) * time.Second

@@ -7,12 +7,20 @@
 //	poi360-sim -rc fbcc -cell campus -user scanner
 //	poi360-sim -scheme conduit -network wireline -duration 2m
 //	poi360-sim -rss -115 -load 0.3 -speed 30          # custom radio environment
+//	poi360-sim -runs 10 -workers 4                    # 10 seeds on a 4-worker pool
+//
+// With -runs N the session repeats N times under collision-free derived
+// seeds (poi360.DeriveSeed), fanned out over a bounded worker pool; the
+// per-run summaries print in run order and are identical at any -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"poi360"
@@ -31,6 +39,8 @@ func main() {
 		speed    = flag.Float64("speed", 0, "vehicle speed in mph for custom cell")
 		seed     = flag.Int64("seed", 1, "random seed")
 		mosOut   = flag.Bool("mos", false, "also print the MOS distribution")
+		runs     = flag.Int("runs", 1, "repeat the session this many times under derived seeds")
+		workers  = flag.Int("workers", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -91,6 +101,13 @@ func main() {
 		cfg.Cell = poi360.CellProfile{RSSdBm: *rss, BackgroundLoad: *load, SpeedMph: *speed, Seed: *seed}
 	}
 
+	if *runs > 1 {
+		if err := runMany(cfg, *runs, *workers, *mosOut); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
 	res, err := poi360.RunSession(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -111,6 +128,70 @@ func main() {
 		fmt.Printf("  MOS     : bad %.1f%%, poor %.1f%%, fair %.1f%%, good %.1f%%, excellent %.1f%%\n",
 			100*pdf[0], 100*pdf[1], 100*pdf[2], 100*pdf[3], 100*pdf[4])
 	}
+}
+
+// runMany repeats the session n times under collision-free derived seeds,
+// fanned out over a bounded worker pool, then prints each run's summary in
+// run order followed by an aggregate line. The output is byte-identical
+// for any worker count: results are slotted by run index and printed only
+// after every run completes.
+func runMany(base poi360.SessionConfig, n, workers int, mosOut bool) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	type slot struct {
+		res *poi360.SessionResult
+		err error
+	}
+	slots := make([]slot, n)
+	runOne := func(i int) {
+		cfg := base
+		cfg.Seed = poi360.DeriveSeed(base.Seed, 0, i)
+		slots[i].res, slots[i].err = poi360.RunSession(cfg)
+	}
+
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var psnr, freeze, delay, thr float64
+	for i, s := range slots {
+		if s.err != nil {
+			return fmt.Errorf("run %d: %w", i, s.err)
+		}
+		fmt.Printf("run %2d: %s\n", i, poi360.Summary(s.res))
+		psnr += s.res.PSNRSummary().Mean
+		freeze += s.res.FreezeRatio()
+		delay += s.res.DelaySummary().Median
+		thr += s.res.ThroughputSummary().Mean
+		if mosOut {
+			pdf := s.res.MOSPDF()
+			fmt.Printf("        MOS: bad %.1f%%, poor %.1f%%, fair %.1f%%, good %.1f%%, excellent %.1f%%\n",
+				100*pdf[0], 100*pdf[1], 100*pdf[2], 100*pdf[3], 100*pdf[4])
+		}
+	}
+	fn := float64(n)
+	fmt.Printf("aggregate over %d runs: PSNR %.1f dB, median delay %.0f ms, freeze %.2f%%, throughput %.2f Mbps\n",
+		n, psnr/fn, delay/fn, 100*freeze/fn, thr/fn/1e6)
+	return nil
 }
 
 func fatal(format string, args ...any) {

@@ -13,7 +13,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"poi360/internal/metrics"
@@ -36,7 +39,15 @@ type Options struct {
 	// Repeats overrides per-user session repetitions (0 = default).
 	Repeats int
 	// Progress, when non-nil, receives one line per completed session.
+	// Lines are emitted in deterministic (user, repeat) order regardless
+	// of how many workers run the batch.
 	Progress io.Writer
+	// Workers bounds how many sessions of a batch run concurrently.
+	// 0 means GOMAXPROCS; 1 forces the sequential path. For a fixed Seed
+	// every Workers value produces byte-identical experiment output —
+	// sessions are independent simulations and results are folded back in
+	// (user, repeat) order.
+	Workers int
 }
 
 func (o Options) sessionTime() time.Duration {
@@ -72,8 +83,21 @@ func (o Options) repeats() int {
 	return 2
 }
 
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// progressMu serializes all progress writes so concurrent batches (or a
+// batch and a caller sharing the same writer) never interleave bytes.
+var progressMu sync.Mutex
+
 func (o Options) progressf(format string, args ...any) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(o.Progress, format, args...)
 	}
 }
@@ -172,28 +196,137 @@ func (a *sessionAgg) Delay() metrics.Summary { return metrics.Summarize(a.Delays
 // Stability summarizes the Fig. 12 window-std metric.
 func (a *sessionAgg) Stability() metrics.Summary { return metrics.Summarize(a.Stab) }
 
-// runBatch runs users × repeats sessions derived from base (Seed and User
-// varied) and aggregates them.
+// progressBuffer reorders per-session progress lines: workers complete in
+// arbitrary order, but lines reach the writer in batch index order, each
+// flushed as soon as its contiguous prefix is complete (so a -v run stays
+// live under parallel workers instead of dumping everything at the end).
+type progressBuffer struct {
+	w       io.Writer
+	mu      sync.Mutex
+	next    int
+	pending map[int]string
+}
+
+func newProgressBuffer(w io.Writer) *progressBuffer {
+	return &progressBuffer{w: w, pending: map[int]string{}}
+}
+
+// emit hands line i to the buffer; it is safe for concurrent use.
+func (p *progressBuffer) emit(i int, line string) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending[i] = line
+	for {
+		l, ok := p.pending[p.next]
+		if !ok {
+			return
+		}
+		progressMu.Lock()
+		io.WriteString(p.w, l)
+		progressMu.Unlock()
+		delete(p.pending, p.next)
+		p.next++
+	}
+}
+
+// batchSlot holds one session's outcome until the deterministic fold.
+type batchSlot struct {
+	res *session.Result
+	err error
+}
+
+// runBatch runs the users × repeats session grid derived from base (Seed
+// and User varied per cell) and aggregates the results.
+//
+// Sessions are fanned out over a bounded worker pool (Options.Workers,
+// default GOMAXPROCS). Each session is an independent discrete-event
+// simulation whose randomness derives only from its collision-free
+// per-session seed, and completed results are folded back strictly in
+// (user, repeat) order, so for a fixed Options.Seed the aggregate — and
+// every table, CDF, and report built from it — is byte-identical no
+// matter how many workers ran the batch.
 func runBatch(o Options, base session.Config) (*sessionAgg, error) {
-	agg := &sessionAgg{}
 	base.Duration = o.sessionTime()
 	// Skip the rate controller's start-up ramp (and the backlog it leaves)
 	// so batches measure steady state, like the paper's 5-minute sessions.
 	base.StatsWarmup = 15 * time.Second
-	for u := 0; u < o.users(); u++ {
-		for r := 0; r < o.repeats(); r++ {
-			cfg := base
-			cfg.User = userProfile(u)
-			cfg.Seed = o.Seed + int64(u*1000+r*37+1)
-			res, err := session.Run(cfg)
-			if err != nil {
+	users, repeats := o.users(), o.repeats()
+	n := users * repeats
+	slots := make([]batchSlot, n)
+	var progress *progressBuffer
+	if o.Progress != nil {
+		progress = newProgressBuffer(o.Progress)
+	}
+
+	// runOne executes grid cell i = u*repeats + r into its slot.
+	runOne := func(i int) error {
+		u, r := i/repeats, i%repeats
+		cfg := base
+		cfg.User = userProfile(u)
+		cfg.Seed = session.DeriveSeed(o.Seed, u, r)
+		res, err := session.Run(cfg)
+		if err != nil {
+			slots[i].err = fmt.Errorf("session (user=%d, repeat=%d): %w", u, r, err)
+			progress.emit(i, "") // keep the ordered flush moving past the failed slot
+			return slots[i].err
+		}
+		slots[i].res = res
+		if progress != nil {
+			progress.emit(i, fmt.Sprintf("  %s/%s user=%s rep=%d: PSNR %.1f dB, FR %.2f%%\n",
+				cfg.Scheme, cfg.Network, cfg.User.Name, r,
+				res.PSNRSummary().Mean, 100*res.FreezeRatio()))
+		}
+		return nil
+	}
+
+	if workers := min(o.workers(), n); workers <= 1 {
+		// Sequential path: identical scheduling to the pre-parallel engine.
+		for i := 0; i < n; i++ {
+			if err := runOne(i); err != nil {
 				return nil, err
 			}
-			agg.fold(res)
-			o.progressf("  %s/%s user=%s rep=%d: PSNR %.1f dB, FR %.2f%%\n",
-				cfg.Scheme, cfg.Network, cfg.User.Name, r,
-				res.PSNRSummary().Mean, 100*res.FreezeRatio())
 		}
+	} else {
+		// Bounded pool: workers claim grid cells from an atomic cursor.
+		var (
+			cursor  atomic.Int64
+			aborted atomic.Bool
+			wg      sync.WaitGroup
+		)
+		cursor.Store(-1)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1))
+					if i >= n || aborted.Load() {
+						return
+					}
+					if runOne(i) != nil {
+						aborted.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic fold: (user, repeat) order regardless of completion
+	// order. Error selection is deterministic too — the lowest grid index
+	// wins, matching what the sequential path would have reported.
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+	}
+	agg := &sessionAgg{}
+	for i := range slots {
+		agg.fold(slots[i].res)
 	}
 	return agg, nil
 }

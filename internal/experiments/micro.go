@@ -156,6 +156,8 @@ type rcKey struct {
 	repeats int
 }
 
+// rcCache mirrors schemeCache: keyed without Options.Workers (worker
+// count never changes an aggregate), entries immutable after insertion.
 var (
 	rcMu    sync.Mutex
 	rcCache = map[rcKey]*sessionAgg{}

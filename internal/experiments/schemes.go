@@ -21,6 +21,11 @@ type schemeKey struct {
 	repeats int
 }
 
+// schemeCache memoizes batches so Figs. 11–14 derive from the same runs,
+// as in the paper. The key deliberately excludes Options.Workers: worker
+// count never changes a batch's aggregate (see runBatch), so cached
+// results are valid across parallelism settings. Cached aggregates are
+// treated as immutable after insertion.
 var (
 	schemeMu    sync.Mutex
 	schemeCache = map[schemeKey]*sessionAgg{}

@@ -274,6 +274,13 @@ type feedback struct {
 }
 
 // Run executes a session to completion and returns its measurements.
+//
+// Run is safe for concurrent use: every run builds its own simulation
+// clock, RNGs, transports, and controllers from cfg and shares nothing
+// with other runs (the parallel experiment engine relies on this). For a
+// given cfg — including Seed — the returned Result is deeply identical
+// across runs. Callers supplying a FrameHook that touches shared state
+// must synchronize it themselves when running sessions concurrently.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {

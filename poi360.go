@@ -138,8 +138,18 @@ const (
 func MOSForPSNR(psnr float64) MOS { return metrics.MOSForPSNR(psnr) }
 
 // ExperimentOptions scale an experiment run (quick vs full, seeds, session
-// length, progress output).
+// length, progress output) and bound its parallelism: Workers sets how
+// many sessions of a batch run concurrently (0 = GOMAXPROCS, 1 =
+// sequential). For a fixed Seed every Workers value produces byte-identical
+// reports; results are folded in deterministic (user, repeat) order.
 type ExperimentOptions = experiments.Options
+
+// DeriveSeed maps a base seed and a non-negative (lane, step) coordinate
+// to a collision-free per-session seed (SplitMix64 finalizer). The
+// experiment engine seeds grid cell (user, repeat) of a batch with
+// DeriveSeed(Seed, user, repeat); external drivers that fan out their own
+// session grids should derive seeds the same way.
+func DeriveSeed(base int64, lane, step int) int64 { return session.DeriveSeed(base, lane, step) }
 
 // Experiment regenerates one of the paper's tables or figures.
 type Experiment = experiments.Experiment

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench-smoke ci
+.PHONY: all build test race lint fmt bench-smoke faults-smoke ci
 
 all: build
 
@@ -39,6 +39,15 @@ fmt:
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
+## faults-smoke: the fault-injection subsystem under the race detector —
+## scripted disturbance scenarios, the FBCC diag-staleness watchdog, and
+## the parallel-engine byte-identity contract with faults enabled. Fault
+## tests follow the TestFault* naming convention across packages.
+faults-smoke:
+	$(GO) test -race -run 'Fault' ./internal/faults/... ./internal/lte \
+		./internal/netsim ./internal/ratecontrol ./internal/session \
+		./internal/experiments
+
 ## ci: the umbrella target the GitHub workflow fans out over.
-ci: build lint test race bench-smoke
+ci: build lint test race bench-smoke faults-smoke
 	@echo "ci: all checks passed"

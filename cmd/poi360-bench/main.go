@@ -4,6 +4,7 @@
 //
 //	poi360-bench                         # run every experiment at full scale
 //	poi360-bench -experiment fig16a      # one experiment
+//	poi360-bench -experiment faults      # FBCC graceful degradation under fault scripts
 //	poi360-bench -quick                  # shrunken sessions (seconds, not minutes)
 //	poi360-bench -workers 1              # force sequential sessions (same output)
 //	poi360-bench -csv out/               # also dump raw curves as CSV

@@ -8,6 +8,8 @@
 //	poi360-sim -scheme conduit -network wireline -duration 2m
 //	poi360-sim -rss -115 -load 0.3 -speed 30          # custom radio environment
 //	poi360-sim -runs 10 -workers 4                    # 10 seeds on a 4-worker pool
+//	poi360-sim -rc fbcc -faults diag-stall            # scripted disturbance scenario
+//	poi360-sim -rc fbcc -faults handover -no-watchdog # paper prototype under faults
 //
 // With -runs N the session repeats N times under collision-free derived
 // seeds (poi360.DeriveSeed), fanned out over a bounded worker pool; the
@@ -41,8 +43,18 @@ func main() {
 		mosOut   = flag.Bool("mos", false, "also print the MOS distribution")
 		runs     = flag.Int("runs", 1, "repeat the session this many times under derived seeds")
 		workers  = flag.Int("workers", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
+		faultsIn = flag.String("faults", "", "scripted disturbance scenario (see -list-faults)")
+		listF    = flag.Bool("list-faults", false, "list fault scenarios and exit")
+		noWD     = flag.Bool("no-watchdog", false, "disable FBCC's diag-staleness watchdog (paper prototype behaviour)")
 	)
 	flag.Parse()
+
+	if *listF {
+		for _, n := range poi360.FaultScenarios() {
+			fmt.Println(n)
+		}
+		return
+	}
 
 	cfg := poi360.SessionConfig{Duration: *duration, Seed: *seed}
 
@@ -101,6 +113,17 @@ func main() {
 		cfg.Cell = poi360.CellProfile{RSSdBm: *rss, BackgroundLoad: *load, SpeedMph: *speed, Seed: *seed}
 	}
 
+	if *faultsIn != "" {
+		script, err := poi360.MakeFaultScenario(*faultsIn, *duration)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.Faults = script
+	}
+	if *noWD {
+		cfg.FBCCWatchdogReports = -1
+	}
+
 	if *runs > 1 {
 		if err := runMany(cfg, *runs, *workers, *mosOut); err != nil {
 			fatal("%v", err)
@@ -121,7 +144,12 @@ func main() {
 	fmt.Printf("  frames  : sent %d, delivered %d, lost %d, packet drops %d\n",
 		res.FramesSent, res.FramesDelivered, res.FramesLost, res.PacketDrops)
 	if res.Config.RC == poi360.RCFBCC {
-		fmt.Printf("  fbcc    : %d uplink overuse detections\n", res.FBCCOveruses)
+		fmt.Printf("  fbcc    : %d uplink overuse detections, %d watchdog degradations\n",
+			res.FBCCOveruses, res.FBCCDegradations)
+	}
+	if !res.Config.Faults.Empty() {
+		fmt.Printf("  faults  : %d diag reports suppressed, %d stale feedback discarded\n",
+			res.DiagStalled, res.StaleFeedback)
 	}
 	if *mosOut {
 		pdf := res.MOSPDF()

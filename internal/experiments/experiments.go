@@ -130,6 +130,7 @@ func All() []Experiment {
 		Fig15, Fig16a, Fig16b,
 		Fig17ab, Fig17cd, Fig17ef,
 		AblationNoModeSwitch, AblationFBCCK, AblationNoRTPLoop, AblationHold,
+		FaultsTable,
 		ExtPrediction, ExtEdgeRelay,
 	}
 }
@@ -156,6 +157,10 @@ type sessionAgg struct {
 	Diag       []session.DiagSample
 	Sessions   int
 	Overuses   int
+	// Degradation accounting (fault-injection runs).
+	Degradations  int   // FBCC diag-staleness watchdog firings
+	StaleFeedback int   // feedback messages discarded by the staleness guard
+	DiagStalled   int64 // diag reports suppressed by the fault script
 }
 
 func (a *sessionAgg) fold(res *session.Result) {
@@ -174,6 +179,9 @@ func (a *sessionAgg) fold(res *session.Result) {
 	a.Diag = append(a.Diag, res.Diag...)
 	a.Sessions++
 	a.Overuses += res.FBCCOveruses
+	a.Degradations += res.FBCCDegradations
+	a.StaleFeedback += res.StaleFeedback
+	a.DiagStalled += res.DiagStalled
 }
 
 // FreezeRatio is the frame-weighted freeze ratio across sessions.

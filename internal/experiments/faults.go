@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"poi360/internal/faults"
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+	"poi360/internal/session"
+	"poi360/internal/trace"
+)
+
+// FaultsTable evaluates FBCC's graceful-degradation paths under scripted
+// disturbances: for every canned fault scenario it runs FBCC with the
+// diag-staleness watchdog armed (this repo's degradation design) and with
+// the watchdog disabled (the paper's prototype, which trusts the 40 ms diag
+// feed blindly), plus a clean-feed baseline row. Disturbance timelines are
+// deterministic scripts on the simulation clock, so rows are byte-identical
+// at any worker count — the PR 1 engine invariant extends to faulted runs.
+var FaultsTable = Experiment{
+	ID:    "faults",
+	Title: "Fault injection: FBCC graceful degradation under disturbance scripts",
+	Paper: "§4.3.1 requires FBCC to \"handle congestion elsewhere\" by degrading to the embedded GCC; the paper never injects faults — this table does, deterministically",
+	Run: func(o Options) (*Report, error) {
+		rep := newReport()
+		tab := trace.New("faults", "Scripted disturbances, campus cell: FBCC with vs without the diag-staleness watchdog",
+			"scenario", "watchdog", "freeze ratio", "mean PSNR", "mean thrpt", "degr/sess", "stale fb/sess", "diag lost/sess")
+
+		addRow := func(scenario, label string, watchdog int, script faults.Script) error {
+			cfg := session.Config{
+				Network:             session.Cellular,
+				Cell:                lte.ProfileCampus,
+				Scheme:              session.SchemeAdaptive,
+				RC:                  session.RCFBCC,
+				Faults:              script,
+				FBCCWatchdogReports: watchdog,
+			}
+			agg, err := runBatch(o, cfg)
+			if err != nil {
+				return err
+			}
+			sessions := float64(agg.Sessions)
+			tab.Add(scenario, label,
+				trace.Pct(agg.FreezeRatio()),
+				trace.DB(agg.PSNR().Mean),
+				trace.Mbps(metrics.Summarize(agg.Throughput).Mean),
+				trace.F(float64(agg.Degradations)/sessions, 1),
+				trace.F(float64(agg.StaleFeedback)/sessions, 1),
+				trace.F(float64(agg.DiagStalled)/sessions, 1))
+			key := scenario + "/" + label
+			rep.Measured[key+"_fr"] = agg.FreezeRatio()
+			rep.Measured[key+"_psnr"] = agg.PSNR().Mean
+			rep.Measured[key+"_degr"] = float64(agg.Degradations) / sessions
+			rep.Measured[key+"_stale"] = float64(agg.StaleFeedback) / sessions
+			return nil
+		}
+
+		// Clean baseline: no disturbances, watchdog armed (it must be
+		// inert on a healthy feed).
+		if err := addRow("none", "on", 0, faults.Script{}); err != nil {
+			return nil, err
+		}
+		for _, name := range faults.ScenarioNames() {
+			script, err := faults.MakeScenario(name, o.sessionTime())
+			if err != nil {
+				return nil, err
+			}
+			if err := addRow(name, "on", 0, script); err != nil {
+				return nil, err
+			}
+			if err := addRow(name, "off", -1, script); err != nil {
+				return nil, err
+			}
+		}
+		tab.Note("watchdog: no diag report for 5×40 ms → unpin from Rphy, fall back to GCC, reset Eq. 3/4/7 state; 'off' reproduces the paper's prototype")
+		rep.Tables = append(rep.Tables, tab)
+		return rep, nil
+	},
+}
+
+// FaultScenarioScript builds the disturbance script for a named fault
+// scenario at the given duration — shared by the CLIs so `-faults handover`
+// means the same timeline everywhere.
+func FaultScenarioScript(name string, duration time.Duration) (faults.Script, error) {
+	if duration <= 0 {
+		return faults.Script{}, fmt.Errorf("experiments: fault scenario %q needs a positive duration", name)
+	}
+	return faults.MakeScenario(name, duration)
+}

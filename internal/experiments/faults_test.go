@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The faults table runs every scenario twice (watchdog on/off) plus a clean
+// baseline, and the degradation counters behave as designed: the armed
+// watchdog fires under diag stalls, the disabled one never does, and the
+// clean baseline stays silent.
+func TestFaultTableRunsAndCounts(t *testing.T) {
+	o := Options{Quick: true, Users: 2, Repeats: 1, SessionTime: 30 * time.Second, Seed: 3}
+	rep, err := FaultsTable.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("got %d tables", len(rep.Tables))
+	}
+	// 1 clean row + 2 rows per scenario.
+	nScen := len(rep.Tables[0].Rows)
+	if nScen < 1+2*6 {
+		t.Fatalf("suspiciously few rows: %d", nScen)
+	}
+	if got := rep.Measured["diag-stall/on_degr"]; got <= 0 {
+		t.Fatalf("armed watchdog never fired under diag stalls: %v", got)
+	}
+	if got := rep.Measured["diag-stall/off_degr"]; got != 0 {
+		t.Fatalf("disabled watchdog fired %v times per session", got)
+	}
+	if got := rep.Measured["none/on_degr"]; got != 0 {
+		t.Fatalf("watchdog fired %v times on the clean baseline", got)
+	}
+	if got := rep.Measured["feedback-storm/on_stale"]; got <= 0 {
+		t.Fatalf("delayed feedback never tripped the staleness guard: %v", got)
+	}
+}
+
+// Acceptance: the PR 1 parallel-engine invariant extends to faulted runs —
+// the faults experiment renders byte-identical tables at Workers=1 and
+// Workers=8.
+func TestFaultReportBytesIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		o := Options{Quick: true, Users: 2, Repeats: 1, SessionTime: 30 * time.Second, Seed: 5, Workers: workers}
+		rep, err := FaultsTable.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tab := range rep.Tables {
+			sb.WriteString(tab.String())
+		}
+		return sb.String()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Fatalf("faulted report bytes differ between Workers=1 and Workers=8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "diag-stall") || !strings.Contains(seq, "handover") {
+		t.Fatalf("report missing scenario rows:\n%s", seq)
+	}
+}

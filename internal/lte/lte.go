@@ -88,6 +88,18 @@ type Config struct {
 	TBSNoise float64
 	// DiagPeriod is the chipset report interval (default 40 ms).
 	DiagPeriod time.Duration
+
+	// CapacityFault, when non-nil, scales the instantaneous cell capacity
+	// by its return value (scripted handover outages and capacity steps;
+	// see internal/faults). It must be a pure function of the instant so
+	// the simulation stays deterministic.
+	CapacityFault func(now time.Duration) float64
+	// DiagFault, when non-nil, suppresses the diagnostic report due at the
+	// given instant when it returns true (a stalled chipset diag feed).
+	// Suppressed reports are dropped, not deferred: the TBS and subframes
+	// they covered are lost to the consumer, exactly as a silent diag
+	// interface loses them.
+	DiagFault func(at time.Duration) bool
 }
 
 // DefaultConfig returns the calibrated uplink model for a profile.
@@ -162,6 +174,7 @@ type Uplink struct {
 	// Diag accumulation.
 	diagTBS       float64
 	diagSubframes int
+	diagStalled   int64 // reports suppressed by a scripted DiagFault
 
 	// Running statistics.
 	totalServedBits float64
@@ -181,6 +194,8 @@ func NewUplink(clk *simclock.Clock, cfg Config, deliver func(Packet)) (*Uplink, 
 		deliver: deliver,
 	}
 	u.cap.init(cfg.Profile, rand.New(rand.NewSource(cfg.Profile.Seed+1)))
+	u.cap.fault = cfg.CapacityFault
+	u.cap.recompute() // apply any scripted factor active at t=0
 	return u, nil
 }
 
@@ -301,6 +316,13 @@ func (u *Uplink) serve(tbsBits float64) {
 			u.deliver(done)
 		}
 	}
+	// A drained buffer forfeits leftover fractional grant bytes: the credit
+	// models sub-byte remainders of grants actually spent on queued data,
+	// and carrying it across an idle gap would inflate the first grant of
+	// the next busy period with bytes from a grant long expired.
+	if u.bufBytes == 0 {
+		u.credit = 0
+	}
 }
 
 func (u *Uplink) emitDiag() {
@@ -312,10 +334,18 @@ func (u *Uplink) emitDiag() {
 	}
 	u.diagTBS = 0
 	u.diagSubframes = 0
+	if u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At) {
+		u.diagStalled++
+		return
+	}
 	if u.onDiag != nil {
 		u.onDiag(rep)
 	}
 }
+
+// DiagStalled reports how many diagnostic reports a scripted DiagFault has
+// suppressed so far.
+func (u *Uplink) DiagStalled() int64 { return u.diagStalled }
 
 // capacityProcess composes the stochastic influences on the UE's saturated
 // uplink rate: RSS base rate, Ornstein-Uhlenbeck background load with busy
@@ -335,6 +365,10 @@ type capacityProcess struct {
 
 	speedMph float64
 	now      time.Duration
+
+	// fault, when non-nil, is the scripted capacity multiplier (handover
+	// outages and capacity steps from internal/faults).
+	fault func(now time.Duration) float64
 }
 
 func (cp *capacityProcess) init(p CellProfile, rng *rand.Rand) {
@@ -364,6 +398,13 @@ func (cp *capacityProcess) recompute() {
 	}
 	if cp.now < cp.outageUntil {
 		c *= 0.08
+	}
+	if cp.fault != nil {
+		f := cp.fault(cp.now)
+		if f < 0 {
+			f = 0
+		}
+		c *= f
 	}
 	cp.current = c
 }

@@ -16,6 +16,12 @@ import (
 	"poi360/internal/simclock"
 )
 
+// LinkFault decides the fate of a message entering a DelayLink at the given
+// instant: drop it, duplicate it, and/or add extra one-way delay. It must be
+// a pure function of the instant (no internal randomness) so faulted links
+// stay deterministic; internal/faults.Script.FeedbackFate satisfies this.
+type LinkFault func(now time.Duration) (drop, dup bool, extra time.Duration)
+
 // DelayLink delivers messages after a stochastic one-way delay while
 // preserving FIFO order (a later send never overtakes an earlier one).
 type DelayLink struct {
@@ -27,6 +33,10 @@ type DelayLink struct {
 	spikeMax  time.Duration
 	deliver   func(any)
 	lastOut   time.Duration
+
+	fault   LinkFault
+	dropped int64 // messages removed by the fault hook
+	duped   int64 // extra copies injected by the fault hook
 }
 
 // NewDelayLink creates a link with the given delay distribution; deliver is
@@ -43,21 +53,48 @@ func NewDelayLink(clk *simclock.Clock, seed int64, base, jitterStd time.Duration
 	}
 }
 
+// SetFault installs a scripted fault hook consulted once per Send. A nil
+// hook clears it. The hook sees the send instant, so window-based scripts
+// affect exactly the messages sent inside their windows.
+func (l *DelayLink) SetFault(fn LinkFault) { l.fault = fn }
+
+// FaultDropped reports messages removed by the fault hook.
+func (l *DelayLink) FaultDropped() int64 { return l.dropped }
+
+// FaultDuplicated reports extra copies injected by the fault hook.
+func (l *DelayLink) FaultDuplicated() int64 { return l.duped }
+
 // Send schedules delivery of payload after a sampled delay.
 func (l *DelayLink) Send(payload any) {
-	d := l.base + time.Duration(l.rng.NormFloat64()*float64(l.jitterStd))
-	if l.spikeProb > 0 && l.rng.Float64() < l.spikeProb {
-		d += time.Duration(l.rng.Float64() * float64(l.spikeMax))
+	copies := 1
+	var extra time.Duration
+	if l.fault != nil {
+		drop, dup, ex := l.fault(l.clk.Now())
+		if drop {
+			l.dropped++
+			return
+		}
+		if dup {
+			copies = 2
+			l.duped++
+		}
+		extra = ex
 	}
-	if d < 0 {
-		d = 0
+	for i := 0; i < copies; i++ {
+		d := extra + l.base + time.Duration(l.rng.NormFloat64()*float64(l.jitterStd))
+		if l.spikeProb > 0 && l.rng.Float64() < l.spikeProb {
+			d += time.Duration(l.rng.Float64() * float64(l.spikeMax))
+		}
+		if d < 0 {
+			d = 0
+		}
+		out := l.clk.Now() + d
+		if out < l.lastOut {
+			out = l.lastOut // FIFO: no overtaking
+		}
+		l.lastOut = out
+		l.clk.Schedule(out, func() { l.deliver(payload) })
 	}
-	out := l.clk.Now() + d
-	if out < l.lastOut {
-		out = l.lastOut // FIFO: no overtaking
-	}
-	l.lastOut = out
-	l.clk.Schedule(out, func() { l.deliver(payload) })
 }
 
 // Queue is a rate-limited droptail FIFO: the standard fluid model of a
@@ -242,6 +279,10 @@ type Transport interface {
 	// SetDiagListener registers the LTE diag consumer. On transports
 	// without modem diagnostics it never fires.
 	SetDiagListener(func(lte.DiagReport))
+	// SetFeedbackFault installs a scripted disturbance on the reverse
+	// (feedback) path: drop, duplicate, or delay messages per instant.
+	// A nil hook clears it.
+	SetFeedbackFault(LinkFault)
 }
 
 // Cellular is the paper's main transport: LTE uplink bottleneck followed by
@@ -282,6 +323,12 @@ func (c *Cellular) AccessBufferBytes() int { return c.Uplink.BufferBytes() }
 // SetDiagListener implements Transport.
 func (c *Cellular) SetDiagListener(fn func(lte.DiagReport)) { c.Uplink.SetDiagListener(fn) }
 
+// SetFeedbackFault implements Transport.
+func (c *Cellular) SetFeedbackFault(fn LinkFault) { c.rev.SetFault(fn) }
+
+// FeedbackFaultDropped reports feedback messages removed by the fault hook.
+func (c *Cellular) FeedbackFaultDropped() int64 { return c.rev.FaultDropped() }
+
 // Wireline is the campus-network baseline: a fat, stable access bottleneck.
 type Wireline struct {
 	q    *Queue
@@ -315,6 +362,9 @@ func (w *Wireline) AccessBufferBytes() int { return w.q.Bytes() }
 // listener never fires and FBCC degrades to its embedded GCC (§4.3.1,
 // "handling congestion elsewhere").
 func (w *Wireline) SetDiagListener(func(lte.DiagReport)) {}
+
+// SetFeedbackFault implements Transport.
+func (w *Wireline) SetFeedbackFault(fn LinkFault) { w.rev.SetFault(fn) }
 
 var (
 	_ Transport = (*Cellular)(nil)

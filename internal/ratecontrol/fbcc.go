@@ -44,6 +44,16 @@ type FBCCConfig struct {
 	MaxRTPRate float64
 	// MinVideoRate floors the encoder rate even under deep congestion.
 	MinVideoRate float64
+	// WatchdogReports arms the diag-staleness watchdog: when no diagnostic
+	// report has arrived for WatchdogReports×DiagPeriod, the controller
+	// unpins from the measured Rphy, falls back to the embedded GCC rate,
+	// and resets the Eq. 3 streak state (the feed it was built on is gone;
+	// §4.3.1's "handle congestion elsewhere" degradation). 0 disables the
+	// watchdog — the paper's prototype, which trusts the feed blindly.
+	WatchdogReports int
+	// DiagPeriod is the nominal cadence of the modem diag feed, used only
+	// by the watchdog timeout.
+	DiagPeriod time.Duration
 }
 
 // DefaultFBCCConfig returns the paper's parameters.
@@ -60,6 +70,8 @@ func DefaultFBCCConfig(rtt time.Duration) FBCCConfig {
 		MinRTPRate:          150e3,
 		MaxRTPRate:          30e6,
 		MinVideoRate:        150e3,
+		WatchdogReports:     5,
+		DiagPeriod:          lte.DefaultDiagPeriod,
 	}
 }
 
@@ -92,6 +104,12 @@ func (c FBCCConfig) Validate() error {
 	if c.MinVideoRate <= 0 {
 		return fmt.Errorf("ratecontrol: FBCC min video rate must be positive")
 	}
+	if c.WatchdogReports < 0 {
+		return fmt.Errorf("ratecontrol: FBCC watchdog reports must be non-negative, got %d", c.WatchdogReports)
+	}
+	if c.WatchdogReports > 0 && c.DiagPeriod <= 0 {
+		return fmt.Errorf("ratecontrol: FBCC watchdog needs a positive DiagPeriod, got %v", c.DiagPeriod)
+	}
 	return nil
 }
 
@@ -123,6 +141,11 @@ type FBCC struct {
 	videoRate float64 // latest encoder rate, floors the pacing rate
 	sweet     sweetSpotEstimator
 
+	// Watchdog state.
+	lastDiagAt   time.Duration // arrival time of the freshest diag report
+	degraded     bool          // true while the diag feed is stale
+	degradations int           // watchdog firings since start
+
 	// Diagnostics for traces and tests.
 	overuses int
 }
@@ -146,6 +169,8 @@ func (c FBCCConfig) InitialRTP() float64 {
 // report order; the report cadence defines the Δt of Eq. 3 and the epoch
 // Dp of Eq. 7.
 func (f *FBCC) OnDiag(rep lte.DiagReport) {
+	f.lastDiagAt = rep.At
+	f.degraded = false // a fresh report re-arms the cross-layer path
 	buf := float64(rep.BufferBytes)
 	f.longTerm.Add(buf)
 
@@ -240,15 +265,73 @@ func (f *FBCC) BandwidthEstimate() float64 {
 // pinned to the measured uplink bandwidth; otherwise the embedded
 // end-to-end controller's rate rgcc applies (handling congestion
 // elsewhere, or no congestion).
+//
+// The hold interval is half-open — [congestedAt, holdUntil) — on the same
+// side as OnDiag's latch release (which clears congested once
+// rep.At >= holdUntil), so at the boundary instant itself both paths agree
+// the hold is over.
 func (f *FBCC) VideoRate(now time.Duration, rgcc float64) float64 {
 	var r float64
-	if now <= f.holdUntil && f.rbw > 0 {
+	if now < f.holdUntil && f.rbw > 0 {
 		r = f.rbw
 	} else {
 		r = rgcc
 	}
 	return math.Max(f.cfg.MinVideoRate, r)
 }
+
+// CheckWatchdog evaluates the diag-staleness watchdog at now and reports
+// whether the controller is currently degraded to its embedded GCC. On the
+// transition into staleness it unpins from Rphy (cancels any hold), resets
+// the Eq. 3 streak state and the Eq. 4 window (their samples describe a
+// link state that is now unknown), and re-seeds the Eq. 7 pacing rate —
+// the caller should drive the pacer from the GCC rate until reports resume.
+// With WatchdogReports == 0 the watchdog is disarmed and CheckWatchdog
+// always reports false.
+func (f *FBCC) CheckWatchdog(now time.Duration) bool {
+	if f.cfg.WatchdogReports <= 0 {
+		return false
+	}
+	if !f.DiagStale(now) {
+		return f.degraded // cleared by the next OnDiag
+	}
+	if !f.degraded {
+		f.degraded = true
+		f.degradations++
+		// Unpin Eq. 6: no hold survives a dead feed.
+		f.congested = false
+		f.holdUntil = 0
+		f.rbw = 0
+		// Reset Eq. 3: the streak would otherwise resume against a
+		// pre-stall buffer sample.
+		f.streak = 0
+		f.slackUsed = 0
+		f.haveLast = false
+		// Reset Eq. 4: windowed TBS from before the stall is not current
+		// bandwidth.
+		f.tbsWindow = f.tbsWindow[:0]
+		// Re-seed Eq. 7 so the pacing loop restarts from a sane rate when
+		// the feed returns instead of integrating from a stale one.
+		f.rtpRate = f.cfg.InitialRTP()
+	}
+	return true
+}
+
+// DiagStale reports whether the diag feed has been silent longer than the
+// watchdog timeout at now (pure check; no state change).
+func (f *FBCC) DiagStale(now time.Duration) bool {
+	if f.cfg.WatchdogReports <= 0 {
+		return false
+	}
+	return now-f.lastDiagAt > time.Duration(f.cfg.WatchdogReports)*f.cfg.DiagPeriod
+}
+
+// Degraded reports whether the watchdog currently holds the controller in
+// its GCC fallback.
+func (f *FBCC) Degraded() bool { return f.degraded }
+
+// Degradations counts watchdog firings since start.
+func (f *FBCC) Degradations() int { return f.degradations }
 
 // RTPRate returns the Eq. 7 pacing rate.
 func (f *FBCC) RTPRate() float64 { return f.rtpRate }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"poi360/internal/compress"
+	"poi360/internal/faults"
 	"poi360/internal/headmotion"
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
@@ -105,8 +106,10 @@ type Config struct {
 	// PipelineDelay is the constant capture→encode plus decode→display
 	// processing latency added to the measured frame delay (the prototype's
 	// browser pipeline; §5 reports it comparable to conventional WebRTC
-	// telephony). Default 250 ms — a 2017 phone running 4K canvas capture,
-	// VP8 encode, decode and WebGL stereo rendering in a browser.
+	// telephony). Zero means the default of 250 ms — a 2017 phone running
+	// 4K canvas capture, VP8 encode, decode and WebGL stereo rendering in
+	// a browser. A negative value means an explicitly zero-delay pipeline
+	// (mirroring StatsWarmup's < 0 sentinel).
 	PipelineDelay time.Duration
 
 	// StatsWarmup excludes measurements recorded before this instant so
@@ -126,12 +129,35 @@ type Config struct {
 	// PSNR. Intended for instrumentation and tests.
 	FrameHook func(f *video.EncodedFrame, gaze projection.Tile, psnr float64)
 
+	// Faults is the scripted disturbance timeline for this session: diag
+	// stalls, reverse-feedback drop/duplicate/delay windows, handover-style
+	// outages, capacity steps, and ROI-belief freezes (internal/faults).
+	// The zero value injects nothing. Scripts contain no randomness, so a
+	// faulted session is exactly as deterministic as an unfaulted one.
+	Faults faults.Script
+
+	// FeedbackStaleAfter is the session-level feedback-staleness guard: a
+	// reverse-path message older than this when it arrives is discarded
+	// (the sender holds its last ROI belief, mismatch estimate and GCC
+	// rate) instead of being integrated as if current. Zero means the
+	// default of 500 ms — comfortably above the worst natural reverse-path
+	// latency, below the disturbance delays worth guarding against; a
+	// negative value disables the guard.
+	FeedbackStaleAfter time.Duration
+
 	// Ablation knobs (zero values keep the paper's design).
 	AdaptiveCs      []float64     // override mode set
 	AdaptiveQuantum time.Duration // override 200 ms quantum
 	FBCCK           int           // override Eq. 3 K
 	FBCCHoldRTTs    float64       // override the 2-RTT hold
 	DisableRTPLoop  bool          // FBCC without the Eq. 7 sweet-spot loop
+
+	// FBCCWatchdogReports overrides the diag-staleness watchdog window
+	// (N reports of silence before FBCC degrades to its embedded GCC).
+	// 0 keeps the default (5 reports = 200 ms); a negative value disables
+	// the watchdog — the paper's prototype behaviour, which trusts the
+	// diag feed blindly.
+	FBCCWatchdogReports int
 }
 
 // Default fills a Config's zero fields. It returns a copy.
@@ -166,6 +192,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.PipelineDelay == 0 {
 		c.PipelineDelay = 250 * time.Millisecond
+	}
+	if c.PipelineDelay < 0 {
+		c.PipelineDelay = 0 // explicit zero-delay pipeline
+	}
+	if c.FeedbackStaleAfter == 0 {
+		c.FeedbackStaleAfter = 500 * time.Millisecond
+	}
+	if c.FeedbackStaleAfter < 0 {
+		c.FeedbackStaleAfter = 0 // guard disabled
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return c, fmt.Errorf("session: %w", err)
 	}
 	if c.StatsWarmup == 0 {
 		c.StatsWarmup = 10 * time.Second
@@ -217,6 +255,15 @@ type Result struct {
 	PacketDrops     int64
 
 	FBCCOveruses int
+	// FBCCDegradations counts diag-staleness watchdog firings: each is one
+	// fall-back from the cross-layer path to the embedded GCC.
+	FBCCDegradations int
+	// StaleFeedback counts reverse-path messages discarded by the
+	// feedback-staleness guard (held mode instead of integrating garbage).
+	StaleFeedback int
+	// DiagStalled counts modem diagnostic reports suppressed by the fault
+	// script (cellular only).
+	DiagStalled int64
 }
 
 // FreezeRatio returns the fraction of frames frozen per the paper's
@@ -271,6 +318,7 @@ type feedback struct {
 	orientation projection.Orientation
 	m           time.Duration
 	rgcc        float64
+	sentAt      time.Duration // send instant, for the staleness guard
 }
 
 // Run executes a session to completion and returns its measurements.
@@ -320,6 +368,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cfg.FBCCHoldRTTs > 0 {
 			fcfg.HoldRTTs = cfg.FBCCHoldRTTs
+		}
+		switch {
+		case cfg.FBCCWatchdogReports > 0:
+			fcfg.WatchdogReports = cfg.FBCCWatchdogReports
+		case cfg.FBCCWatchdogReports < 0:
+			fcfg.WatchdogReports = 0 // watchdog disabled (paper prototype)
 		}
 		fbcc, err = ratecontrol.NewFBCC(fcfg)
 		if err != nil {
@@ -373,22 +427,46 @@ func Run(cfg Config) (*Result, error) {
 	predictor := headmotion.NewPredictor(0)
 	deliverRev := func(p any) {
 		fb := p.(feedback)
-		roiBelief = fb.roi
-		predictor.Observe(clk.Now(), fb.orientation)
+		now := clk.Now()
+		// Feedback-staleness guard: a message that spent too long on the
+		// reverse path describes a viewer state the session has moved past.
+		// Integrating its M into the mode controller or adopting its ROI
+		// would steer on garbage — hold the last belief instead and wait
+		// for a fresh message (the degradation the fault scripts probe).
+		if cfg.FeedbackStaleAfter > 0 && now-fb.sentAt > cfg.FeedbackStaleAfter {
+			res.StaleFeedback++
+			return
+		}
+		if !cfg.Faults.ROIFrozen(now) {
+			roiBelief = fb.roi
+			predictor.Observe(now, fb.orientation)
+		}
 		controller.ObserveMismatch(fb.m)
 		rgcc = fb.rgcc
 	}
 
+	var uplink *lte.Uplink
 	if cfg.Network == Cellular {
 		lcfg := lte.DefaultConfig(cfg.Cell)
 		lcfg.Profile.Seed = cfg.Seed + 1
+		if !cfg.Faults.Empty() {
+			// The script is an immutable value; its query methods are pure
+			// functions of the instant, so these hooks keep the uplink
+			// deterministic.
+			lcfg.CapacityFault = cfg.Faults.CapacityFactor
+			lcfg.DiagFault = cfg.Faults.DiagStalled
+		}
 		cell, err := netsim.NewCellular(clk, lcfg, cfg.Path, deliverFwd, deliverRev)
 		if err != nil {
 			return nil, err
 		}
 		transport = cell
+		uplink = cell.Uplink
 	} else {
 		transport = netsim.NewWireline(clk, cfg.Seed+1, cfg.Path, deliverFwd, deliverRev)
+	}
+	if !cfg.Faults.Empty() {
+		transport.SetFeedbackFault(cfg.Faults.FeedbackFate)
 	}
 
 	// --- Pacer --------------------------------------------------------
@@ -435,8 +513,16 @@ func Run(cfg Config) (*Result, error) {
 
 		rv := rgcc
 		if fbcc != nil {
+			degraded := fbcc.CheckWatchdog(now)
 			rv = fbcc.VideoRate(now, rgcc)
 			fbcc.SetVideoRate(rv)
+			if degraded && !cfg.DisableRTPLoop {
+				// Diag-staleness fallback: with the modem feed silent the
+				// Eq. 7 loop gets no updates, so the pacer follows the
+				// embedded GCC exactly as a plain WebRTC sender would,
+				// until reports resume and OnDiag re-arms the loop.
+				pacer.SetRate(gccPacingFactor * rv)
+			}
 		}
 		budget := rv / float64(cfg.Video.FPS)
 		ef := video.Encode(&frame, matrix, budget, roiUsed, mode, cfg.Video.MaxScale)
@@ -472,6 +558,7 @@ func Run(cfg Config) (*Result, error) {
 			orientation: actual,
 			m:           lastM,
 			rgcc:        gccRx.Update(now),
+			sentAt:      now,
 		}
 		if now >= cfg.StatsWarmup {
 			res.Mismatch = append(res.Mismatch, metrics.TimedSample{At: now, V: fb.m.Seconds()})
@@ -480,8 +567,12 @@ func Run(cfg Config) (*Result, error) {
 	})
 
 	// --- Per-second throughput sampling ---------------------------------
+	// The warmup gate is >= like every other stats gate in this file
+	// (frame and diag recording above), so a warmup aligned exactly on a
+	// sampling tick includes that tick everywhere or nowhere — not a
+	// mixture.
 	clk.Ticker(time.Second, func() {
-		if clk.Now() > cfg.StatsWarmup {
+		if clk.Now() >= cfg.StatsWarmup {
 			res.Throughput = append(res.Throughput, secondBits)
 		}
 		secondBits = 0
@@ -504,6 +595,10 @@ func Run(cfg Config) (*Result, error) {
 	res.PacketDrops = pacer.Drops()
 	if fbcc != nil {
 		res.FBCCOveruses = fbcc.Overuses()
+		res.FBCCDegradations = fbcc.Degradations()
+	}
+	if uplink != nil {
+		res.DiagStalled = uplink.DiagStalled()
 	}
 	return res, nil
 }

@@ -31,8 +31,10 @@ package poi360
 
 import (
 	"fmt"
+	"time"
 
 	"poi360/internal/experiments"
+	"poi360/internal/faults"
 	"poi360/internal/headmotion"
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
@@ -150,6 +152,38 @@ type ExperimentOptions = experiments.Options
 // DeriveSeed(Seed, user, repeat); external drivers that fan out their own
 // session grids should derive seeds the same way.
 func DeriveSeed(base int64, lane, step int) int64 { return session.DeriveSeed(base, lane, step) }
+
+// FaultScript is a deterministic disturbance timeline for a session
+// (SessionConfig.Faults): scripted diag stalls, reverse-feedback
+// drop/duplicate/delay windows, handover-style outages, capacity steps, and
+// ROI-belief freezes. The zero value injects nothing.
+type FaultScript = faults.Script
+
+// FaultEvent is one disturbance window of a FaultScript.
+type FaultEvent = faults.Event
+
+// Fault kinds for hand-built scripts.
+const (
+	FaultDiagStall     = faults.DiagStall
+	FaultFeedbackDrop  = faults.FeedbackDrop
+	FaultFeedbackDup   = faults.FeedbackDup
+	FaultFeedbackDelay = faults.FeedbackDelay
+	FaultOutage        = faults.Outage
+	FaultCapacityStep  = faults.CapacityStep
+	FaultROIFreeze     = faults.ROIFreeze
+)
+
+// FaultScenarios lists the canned disturbance scenarios ("diag-stall",
+// "feedback-loss", "feedback-storm", "handover", "capacity-step",
+// "roi-freeze", "storm").
+func FaultScenarios() []string { return faults.ScenarioNames() }
+
+// MakeFaultScenario materializes a named scenario over a session of the
+// given duration. The same (name, duration) pair always yields the same
+// timeline.
+func MakeFaultScenario(name string, duration time.Duration) (FaultScript, error) {
+	return faults.MakeScenario(name, duration)
+}
 
 // Experiment regenerates one of the paper's tables or figures.
 type Experiment = experiments.Experiment

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench-smoke faults-smoke ci
+.PHONY: all build test race lint fmt bench-smoke faults-smoke multiuser-smoke ci
 
 all: build
 
@@ -48,6 +48,17 @@ faults-smoke:
 		./internal/netsim ./internal/ratecontrol ./internal/session \
 		./internal/experiments
 
+## multiuser-smoke: the shared-cell subsystem under the race detector —
+## the multi-UE PF scheduler, RunShared determinism at any concurrency,
+## fairness splits, and the multiuser experiment's byte-identity across
+## worker counts. Covers Test{PF,Cell,RunShared,MultiUser}* plus the
+## 1/2/4/8-user scaling benchmark.
+multiuser-smoke:
+	$(GO) test -race -run 'PF|Cell|RunShared|MultiUser|JainFairness' \
+		./internal/lte ./internal/netsim ./internal/session \
+		./internal/metrics ./internal/experiments
+	$(GO) test -bench 'SharedCellUsers' -benchtime 1x -run '^$$' .
+
 ## ci: the umbrella target the GitHub workflow fans out over.
-ci: build lint test race bench-smoke faults-smoke
+ci: build lint test race bench-smoke faults-smoke multiuser-smoke
 	@echo "ci: all checks passed"

@@ -6,6 +6,7 @@
 package poi360
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -178,4 +179,41 @@ func BenchmarkAblationHold2RTT(b *testing.B) {
 	runExperimentBench(b, "abl-hold", map[string]string{
 		"2_fr": "hold2_fr",
 	})
+}
+
+// BenchmarkSharedCellUsers measures how the shared-cell scenario scales
+// with population: one clock, one PF-scheduled cell, N full telephony
+// sessions. The per-user throughput share is reported as a custom metric,
+// so the series doubles as a contention sanity check (share must shrink
+// as N grows).
+func BenchmarkSharedCellUsers(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			var share float64
+			for i := 0; i < b.N; i++ {
+				mc := MultiSessionConfig{
+					Duration: 30 * time.Second,
+					Cell:     CellCampus,
+					Seed:     1,
+				}
+				for u := 0; u < n; u++ {
+					mc.Sessions = append(mc.Sessions, SessionConfig{
+						RC:   RCFBCC,
+						User: Users[u%len(Users)],
+					})
+				}
+				results, err := RunSharedCell(mc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				share = 0
+				for _, r := range results {
+					share += r.ThroughputSummary().Mean
+				}
+				share /= float64(n)
+			}
+			b.ReportMetric(share, "share_bps")
+			b.ReportMetric(share*float64(n), "cell_bps")
+		})
+	}
 }

@@ -8,6 +8,7 @@
 //	poi360-sim -scheme conduit -network wireline -duration 2m
 //	poi360-sim -rss -115 -load 0.3 -speed 30          # custom radio environment
 //	poi360-sim -runs 10 -workers 4                    # 10 seeds on a 4-worker pool
+//	poi360-sim -users 4 -rc fbcc -cell campus         # 4 senders contend in ONE cell
 //	poi360-sim -rc fbcc -faults diag-stall            # scripted disturbance scenario
 //	poi360-sim -rc fbcc -faults handover -no-watchdog # paper prototype under faults
 //
@@ -42,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		mosOut   = flag.Bool("mos", false, "also print the MOS distribution")
 		runs     = flag.Int("runs", 1, "repeat the session this many times under derived seeds")
+		users    = flag.Int("users", 1, "contend N sessions in ONE shared cell (PF uplink scheduler); user profiles cycle")
 		workers  = flag.Int("workers", 0, "max concurrent runs (0 = GOMAXPROCS, 1 = sequential)")
 		faultsIn = flag.String("faults", "", "scripted disturbance scenario (see -list-faults)")
 		listF    = flag.Bool("list-faults", false, "list fault scenarios and exit")
@@ -122,6 +124,19 @@ func main() {
 	}
 	if *noWD {
 		cfg.FBCCWatchdogReports = -1
+	}
+
+	if *users > 1 {
+		if *runs > 1 {
+			fatal("-users and -runs are mutually exclusive")
+		}
+		if cfg.Network != poi360.Cellular {
+			fatal("-users needs the cellular network (a shared LTE cell)")
+		}
+		if err := runSharedCell(cfg, *users); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	if *runs > 1 {
@@ -219,6 +234,41 @@ func runMany(base poi360.SessionConfig, n, workers int, mosOut bool) error {
 	fn := float64(n)
 	fmt.Printf("aggregate over %d runs: PSNR %.1f dB, median delay %.0f ms, freeze %.2f%%, throughput %.2f Mbps\n",
 		n, psnr/fn, delay/fn, 100*freeze/fn, thr/fn/1e6)
+	return nil
+}
+
+// runSharedCell contends n copies of the base session in one shared LTE
+// cell: one simulation clock, one radio resource, per-subframe proportional-
+// fair grants. User profiles cycle through the five paper participants and
+// per-user seeds derive from -seed inside the scenario, so the printout is
+// a pure function of the flags.
+func runSharedCell(base poi360.SessionConfig, n int) error {
+	mc := poi360.MultiSessionConfig{
+		Duration: base.Duration,
+		Cell:     base.Cell,
+		Path:     base.Path,
+		Seed:     base.Seed,
+		Faults:   base.Faults, // capacity events hit the shared cell
+	}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Seed = 0 // derived per user inside RunSharedCell
+		cfg.User = poi360.Users[i%len(poi360.Users)]
+		mc.Sessions = append(mc.Sessions, cfg)
+	}
+	results, err := poi360.RunSharedCell(mc)
+	if err != nil {
+		return err
+	}
+	shares := make([]float64, len(results))
+	var total float64
+	for i, r := range results {
+		shares[i] = r.ThroughputSummary().Mean
+		total += shares[i]
+		fmt.Printf("user %2d (%s): %s\n", i, r.Config.User.Name, poi360.Summary(r))
+	}
+	fmt.Printf("shared cell with %d users: total %.2f Mbps, Jain fairness %.3f\n",
+		n, total/1e6, poi360.JainFairness(shares))
 	return nil
 }
 

@@ -90,6 +90,12 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// batchWarmup is the stats warm-up shared by every batch (and shared-cell
+// scenario): long enough to skip the rate controller's start-up ramp and
+// the backlog it leaves, so experiments measure steady state like the
+// paper's 5-minute sessions.
+const batchWarmup = 15 * time.Second
+
 // progressMu serializes all progress writes so concurrent batches (or a
 // batch and a caller sharing the same writer) never interleave bytes.
 var progressMu sync.Mutex
@@ -131,6 +137,7 @@ func All() []Experiment {
 		Fig17ab, Fig17cd, Fig17ef,
 		AblationNoModeSwitch, AblationFBCCK, AblationNoRTPLoop, AblationHold,
 		FaultsTable,
+		MultiUser,
 		ExtPrediction, ExtEdgeRelay,
 	}
 }
@@ -260,7 +267,7 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 	base.Duration = o.sessionTime()
 	// Skip the rate controller's start-up ramp (and the backlog it leaves)
 	// so batches measure steady state, like the paper's 5-minute sessions.
-	base.StatsWarmup = 15 * time.Second
+	base.StatsWarmup = batchWarmup
 	users, repeats := o.users(), o.repeats()
 	n := users * repeats
 	slots := make([]batchSlot, n)

@@ -187,3 +187,66 @@ func BenchmarkRunBatchWorkers(b *testing.B) {
 		})
 	}
 }
+
+// TestMultiUserBytesIdentical extends the engine invariant to shared-cell
+// scenarios: the multiuser table renders byte-identically at any worker
+// count, because each scenario is an independent N-user simulation whose
+// randomness derives only from its grid seed, folded back in grid order.
+func TestMultiUserBytesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-user grid is heavy")
+	}
+	render := func(workers int) string {
+		o := Options{Quick: true, Repeats: 1, SessionTime: 20 * time.Second, Seed: 9, Workers: workers}
+		rep, err := MultiUser.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tab := range rep.Tables {
+			sb.WriteString(tab.String())
+		}
+		return sb.String()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Fatalf("multiuser report differs between Workers=1 and Workers=8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Jain") {
+		t.Fatalf("multiuser report missing fairness column:\n%s", seq)
+	}
+}
+
+// TestMultiUserMeasured sanity-checks the contention physics the table
+// reports: fairness indices are valid, and an 8-user cell leaves each
+// controller less throughput than a 2-user cell.
+func TestMultiUserMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-user grid is heavy")
+	}
+	o := Options{Quick: true, Repeats: 1, SessionTime: 30 * time.Second, Seed: 5}
+	rep, err := MultiUser.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		for _, mix := range []string{"fbcc", "gcc", "half"} {
+			key := fmt.Sprintf("n%d/%s_jain", n, mix)
+			j, ok := rep.Measured[key]
+			if !ok {
+				t.Fatalf("missing %s", key)
+			}
+			if j <= 0 || j > 1+1e-9 {
+				t.Fatalf("%s = %g out of (0,1]", key, j)
+			}
+		}
+	}
+	if rep.Measured["n8/fbcc_fbcc_thrpt"] >= rep.Measured["n2/fbcc_fbcc_thrpt"] {
+		t.Fatalf("8-user FBCC share %.0f not below 2-user %.0f",
+			rep.Measured["n8/fbcc_fbcc_thrpt"], rep.Measured["n2/fbcc_fbcc_thrpt"])
+	}
+	if rep.Measured["n8/gcc_gcc_thrpt"] >= rep.Measured["n2/gcc_gcc_thrpt"] {
+		t.Fatalf("8-user GCC share %.0f not below 2-user %.0f",
+			rep.Measured["n8/gcc_gcc_thrpt"], rep.Measured["n2/gcc_gcc_thrpt"])
+	}
+}

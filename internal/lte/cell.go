@@ -1,0 +1,460 @@
+package lte
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"poi360/internal/simclock"
+)
+
+// DefaultPFWindow is the averaging window of the proportional-fair
+// scheduler's per-UE served-rate EWMA. LTE eNB implementations typically
+// average over ~100 ms (a hundred 1 ms TTIs): long enough to smooth grant
+// granularity, short enough that the scheduler reacts to a UE's buffer
+// within a video frame interval.
+const DefaultPFWindow = 100 * time.Millisecond
+
+// pfRateFloor (bits/s) bounds the PF metric's denominator so a newly
+// admitted or long-idle UE has a large-but-finite priority, which is the
+// standard newcomer boost of PF scheduling.
+const pfRateFloor = 1e3
+
+// CellConfig parameterizes a shared cell: the radio environment every
+// attached UE contends for, plus the cell-wide scheduler knobs.
+type CellConfig struct {
+	// Profile sets the radio environment. Profile.Seed drives the cell's
+	// stochastic capacity process; BackgroundLoad models *non-simulated*
+	// competitors (other cells' interference, users outside the
+	// experiment) — contention between attached UEs emerges from the PF
+	// allocator instead.
+	Profile CellProfile
+	// GrantProb is the per-subframe grant probability of the legacy
+	// single-UE stochastic discipline (see Cell.subframe); multi-UE cells
+	// ignore it.
+	GrantProb float64
+	// PFWindow is the served-rate EWMA window of the PF metric
+	// (default DefaultPFWindow).
+	PFWindow time.Duration
+	// CapacityFault, when non-nil, scales the instantaneous cell capacity
+	// by its return value (scripted handover outages and capacity steps;
+	// see internal/faults). It must be a pure function of the instant so
+	// the simulation stays deterministic.
+	CapacityFault func(now time.Duration) float64
+}
+
+// DefaultCellConfig returns the calibrated cell model for a profile.
+func DefaultCellConfig(p CellProfile) CellConfig {
+	return CellConfig{
+		Profile:   p,
+		GrantProb: 0.33,
+		PFWindow:  DefaultPFWindow,
+	}
+}
+
+// Validate reports an error for incoherent cell configurations.
+func (c CellConfig) Validate() error {
+	if c.GrantProb <= 0 || c.GrantProb > 1 {
+		return fmt.Errorf("lte: GrantProb must be in (0,1], got %g", c.GrantProb)
+	}
+	if c.PFWindow < Subframe {
+		return fmt.Errorf("lte: PFWindow must be at least one subframe, got %v", c.PFWindow)
+	}
+	if c.Profile.BackgroundLoad < 0 || c.Profile.BackgroundLoad >= 1 {
+		return fmt.Errorf("lte: BackgroundLoad must be in [0,1), got %g", c.Profile.BackgroundLoad)
+	}
+	return nil
+}
+
+// UEConfig parameterizes one UE's modem attached to a Cell.
+type UEConfig struct {
+	// BufferKneeBytes is the firmware-buffer occupancy at which the
+	// proportional-fair uplink grant saturates (Fig. 5 knee, ≈10 KB).
+	BufferKneeBytes float64
+	// BufferCapBytes drops packets beyond this occupancy (modem queue cap).
+	BufferCapBytes int
+	// TBSNoise is the relative standard deviation of granted TBS.
+	TBSNoise float64
+	// DiagPeriod is the chipset report interval (default 40 ms).
+	DiagPeriod time.Duration
+	// Seed drives the UE's grant/TBS randomness.
+	Seed int64
+	// DiagFault, when non-nil, suppresses the diagnostic report due at the
+	// given instant when it returns true (a stalled chipset diag feed).
+	DiagFault func(at time.Duration) bool
+}
+
+// DefaultUEConfig returns the calibrated modem model for one UE.
+func DefaultUEConfig(seed int64) UEConfig {
+	return UEConfig{
+		BufferKneeBytes: 10 * 1024,
+		BufferCapBytes:  512 * 1024,
+		TBSNoise:        0.15,
+		DiagPeriod:      DefaultDiagPeriod,
+		Seed:            seed,
+	}
+}
+
+// Validate reports an error for incoherent UE configurations.
+func (c UEConfig) Validate() error {
+	if c.BufferKneeBytes <= 0 {
+		return fmt.Errorf("lte: BufferKneeBytes must be positive, got %g", c.BufferKneeBytes)
+	}
+	if c.BufferCapBytes <= 0 {
+		return fmt.Errorf("lte: BufferCapBytes must be positive, got %d", c.BufferCapBytes)
+	}
+	if c.DiagPeriod <= 0 || c.DiagPeriod%Subframe != 0 {
+		return fmt.Errorf("lte: DiagPeriod must be a positive multiple of %v, got %v", Subframe, c.DiagPeriod)
+	}
+	return nil
+}
+
+// Cell is one LTE cell whose uplink capacity is shared by the UEs admitted
+// with AddUE. Create with NewCell, attach UEs, then Start. All callbacks
+// run on the simulation clock's goroutine.
+//
+// Scheduling disciplines:
+//
+//   - With exactly one UE the cell keeps the calibrated stochastic grant
+//     process of the original single-user model: the grant *frequency*
+//     grows with the UE's own buffer occupancy while contention is folded
+//     into the scalar BackgroundLoad — bit-for-bit the legacy Uplink.
+//   - With two or more UEs each subframe runs a true proportional-fair
+//     allocation: UEs are ranked by instantaneous achievable rate divided
+//     by their EWMA served rate, where the achievable rate is buffer-aware
+//     as in the paper's Fig. 5 (capacity × min(1, B/knee) — the eNB sizes
+//     grants to the reported BSR), and the subframe's capacity is
+//     waterfilled down the ranking. Contention *emerges*: a UE that
+//     backlogs its firmware buffer is ranked (and granted) more, exactly
+//     the cross-layer property FBCC exploits, while long-served UEs yield
+//     to starved ones through the EWMA denominator.
+type Cell struct {
+	clk *simclock.Clock
+	cfg CellConfig
+	rng *rand.Rand
+
+	ues     []*UE
+	order   []int // scratch: PF ranking of backlogged UEs per subframe
+	cap     capacityProcess
+	started bool
+}
+
+// NewCell builds a cell on clk. Attach UEs with AddUE before Start.
+func NewCell(clk *simclock.Clock, cfg CellConfig) (*Cell, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PFWindow == 0 {
+		cfg.PFWindow = DefaultPFWindow
+	}
+	c := &Cell{
+		clk: clk,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Profile.Seed)),
+	}
+	c.cap.init(cfg.Profile)
+	c.cap.fault = cfg.CapacityFault
+	c.cap.recompute() // apply any scripted factor active at t=0
+	return c, nil
+}
+
+// AddUE admits a UE to the cell. deliver (may be nil) is invoked for each
+// of this UE's packets that finishes transmission over the air. UEs must
+// be added before Start.
+func (c *Cell) AddUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
+	if c.started {
+		return nil, fmt.Errorf("lte: AddUE after Cell.Start")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &UE{
+		cell:    c,
+		id:      len(c.ues),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		deliver: deliver,
+	}
+	c.ues = append(c.ues, u)
+	return u, nil
+}
+
+// addLegacyUE admits a UE that shares the cell's RNG — the legacy
+// single-user Uplink consumed one stream for both the capacity process and
+// the grant draws, and the 1-UE compatibility path preserves that stream
+// exactly.
+func (c *Cell) addLegacyUE(cfg UEConfig, deliver func(Packet)) *UE {
+	u := &UE{cell: c, id: len(c.ues), cfg: cfg, rng: c.rng, deliver: deliver}
+	c.ues = append(c.ues, u)
+	return u
+}
+
+// Start schedules the subframe timer. It must be called exactly once,
+// after every AddUE and before running the clock.
+func (c *Cell) Start() {
+	if c.started {
+		panic("lte: Cell started twice")
+	}
+	c.started = true
+	// Diag reports are emitted from the subframe loop itself so a report
+	// at t covers exactly the subframes in (t−DiagPeriod, t].
+	c.clk.Ticker(Subframe, c.subframe)
+}
+
+// UEs reports how many UEs are attached.
+func (c *Cell) UEs() int { return len(c.ues) }
+
+// CurrentCapacity reports the instantaneous saturated PHY rate in bits/s —
+// what a single backlogged UE would get with a full buffer. Exposed for
+// tests and traces.
+func (c *Cell) CurrentCapacity() float64 { return c.cap.current }
+
+// subframe runs once per millisecond: advance the capacity process, then
+// allocate the subframe's grants under the discipline matching the cell's
+// population.
+func (c *Cell) subframe() {
+	c.cap.step(c.rng, Subframe)
+	for _, u := range c.ues {
+		u.diagSubframes++
+	}
+	if len(c.ues) == 1 {
+		c.stochasticGrant(c.ues[0])
+	} else if len(c.ues) > 1 {
+		c.pfGrant()
+	}
+	for _, u := range c.ues {
+		if u.diagSubframes >= int(u.cfg.DiagPeriod/Subframe) {
+			u.emitDiag()
+		}
+	}
+}
+
+// stochasticGrant is the legacy single-UE discipline: the grant frequency
+// grows with the UE's own buffer occupancy (larger BSR → scheduled more
+// often), while each grant carries a roughly fixed transport block sized
+// so that a saturated buffer yields the full cell capacity. This keeps the
+// Fig. 5 mean relation (rate ≈ cap·min(1, B/knee)) while letting a single
+// grant drain a small buffer to exactly empty — the behaviour behind
+// Fig. 6's 40%-empty observation. Cell-internal contention is modeled by
+// the scalar BackgroundLoad of the capacity process.
+func (c *Cell) stochasticGrant(u *UE) {
+	if u.bufBytes == 0 {
+		return
+	}
+	occupancy := float64(u.bufBytes) / u.cfg.BufferKneeBytes
+	if occupancy > 1 {
+		occupancy = 1
+	}
+	if u.rng.Float64() <= c.cfg.GrantProb*occupancy {
+		tbsBits := c.cap.current * Subframe.Seconds() / c.cfg.GrantProb
+		tbsBits *= math.Max(0.1, 1+u.rng.NormFloat64()*u.cfg.TBSNoise)
+		u.serve(tbsBits)
+	}
+}
+
+// pfGrant is the true multi-UE discipline: one proportional-fair
+// allocation per subframe.
+//
+//	metric_i = r_i / max(T_i, floor)
+//	r_i      = capacity · min(1, B_i/knee_i)   (buffer-aware, Fig. 5)
+//	T_i      = EWMA of the served rate over PFWindow
+//
+// Backlogged UEs are ranked by metric (ties to the lower UE id, so the
+// allocation is deterministic) and the subframe's transport capacity is
+// waterfilled down the ranking: each UE takes at most its buffer-aware
+// share r_i·1ms, the remainder flows to the next UE. Granted TBS carries
+// the same multiplicative noise as the legacy discipline.
+func (c *Cell) pfGrant() {
+	c.order = c.order[:0]
+	for i, u := range c.ues {
+		if u.bufBytes == 0 {
+			continue
+		}
+		occ := float64(u.bufBytes) / u.cfg.BufferKneeBytes
+		if occ > 1 {
+			occ = 1
+		}
+		u.pfAchievable = c.cap.current * occ
+		u.pfMetric = u.pfAchievable / math.Max(u.ewmaRate, pfRateFloor)
+		// Insertion sort by metric descending, UE id ascending on ties:
+		// populations are small (the per-cell UE count), and the stable
+		// deterministic order matters more than asymptotics.
+		pos := len(c.order)
+		for pos > 0 && c.ues[c.order[pos-1]].pfMetric < u.pfMetric {
+			pos--
+		}
+		c.order = append(c.order, 0)
+		copy(c.order[pos+1:], c.order[pos:])
+		c.order[pos] = i
+	}
+
+	remaining := c.cap.current * Subframe.Seconds() // bits this subframe
+	for _, idx := range c.order {
+		if remaining <= 0 {
+			break
+		}
+		u := c.ues[idx]
+		want := u.pfAchievable * Subframe.Seconds()
+		tbs := math.Min(want, remaining)
+		if tbs <= 0 {
+			continue
+		}
+		remaining -= tbs
+		tbs *= math.Max(0.1, 1+u.rng.NormFloat64()*u.cfg.TBSNoise)
+		u.pfServed = u.serve(tbs)
+	}
+
+	alpha := float64(Subframe) / float64(c.cfg.PFWindow)
+	for _, u := range c.ues {
+		u.ewmaRate += alpha * (u.pfServed/Subframe.Seconds() - u.ewmaRate)
+		u.pfServed = 0
+	}
+}
+
+// UE is one user equipment attached to a Cell: the firmware buffer, the
+// grant/TBS randomness, and the per-UE diagnostic interface. Obtain UEs
+// from Cell.AddUE (or via the legacy Uplink wrapper).
+type UE struct {
+	cell    *Cell
+	id      int
+	cfg     UEConfig
+	rng     *rand.Rand
+	deliver func(Packet)
+	onDiag  func(DiagReport)
+
+	// Firmware buffer: FIFO with partial-packet service.
+	queue      []Packet
+	headServed int // bytes of queue[0] already transmitted
+	bufBytes   int
+	credit     float64 // fractional bytes of grant not yet applied
+	dropped    int64
+
+	// Diag accumulation.
+	diagTBS       float64
+	diagSubframes int
+	diagStalled   int64 // reports suppressed by a scripted DiagFault
+
+	// PF scheduler state.
+	ewmaRate     float64 // served-rate EWMA, bits/s
+	pfMetric     float64 // scratch: this subframe's PF metric
+	pfAchievable float64 // scratch: this subframe's buffer-aware rate
+	pfServed     float64 // scratch: bits served this subframe
+
+	// Running statistics.
+	totalServedBits float64
+}
+
+// ID reports the UE's index within its cell (admission order).
+func (u *UE) ID() int { return u.id }
+
+// SetDiagListener registers the consumer of this UE's 40 ms diagnostic
+// reports (FBCC's input). Only one listener is supported; later calls
+// replace it.
+func (u *UE) SetDiagListener(fn func(DiagReport)) { u.onDiag = fn }
+
+// Enqueue appends a packet to the firmware buffer. It reports false (and
+// counts a drop) when the modem queue cap would be exceeded.
+func (u *UE) Enqueue(p Packet) bool {
+	if u.bufBytes+p.Bytes > u.cfg.BufferCapBytes {
+		u.dropped++
+		return false
+	}
+	p.Enq = u.cell.clk.Now()
+	u.queue = append(u.queue, p)
+	u.bufBytes += p.Bytes
+	return true
+}
+
+// BufferBytes reports the instantaneous firmware-buffer occupancy.
+func (u *UE) BufferBytes() int { return u.bufBytes }
+
+// Dropped reports packets rejected at the modem queue cap.
+func (u *UE) Dropped() int64 { return u.dropped }
+
+// TotalServedBits reports the cumulative bits transmitted over the air.
+func (u *UE) TotalServedBits() float64 { return u.totalServedBits }
+
+// ServedRate reports the PF scheduler's EWMA of this UE's served rate in
+// bits/s (zero until the cell runs a multi-UE allocation).
+func (u *UE) ServedRate() float64 { return u.ewmaRate }
+
+// DiagStalled reports how many diagnostic reports a scripted DiagFault has
+// suppressed so far.
+func (u *UE) DiagStalled() int64 { return u.diagStalled }
+
+// ServiceRate returns the buffer-dependent expected PHY rate: the paper's
+// Fig. 5 relation — linear in occupancy until the knee, then flat at the
+// cell capacity. In a multi-UE cell it is the rate the UE would see with
+// the cell to itself; contention discounts it through the PF allocation.
+func (u *UE) ServiceRate(bufferBytes int) float64 {
+	f := float64(bufferBytes) / u.cfg.BufferKneeBytes
+	if f > 1 {
+		f = 1
+	}
+	return u.cell.cap.current * f
+}
+
+// serve transmits up to tbsBits from the head of the firmware buffer,
+// delivering packets whose last byte goes out this subframe. It returns
+// the bits actually served (at most tbsBits, less when the buffer drains).
+func (u *UE) serve(tbsBits float64) float64 {
+	// Fractional grant bytes accumulate as credit so that tiny service
+	// rates (near-empty buffer) still drain the queue instead of being
+	// floored away subframe after subframe.
+	u.credit += tbsBits / 8
+	bytes := int(u.credit)
+	if bytes <= 0 {
+		return 0
+	}
+	u.credit -= float64(bytes)
+	if bytes > u.bufBytes {
+		bytes = u.bufBytes
+	}
+	served := float64(bytes) * 8
+	u.diagTBS += served
+	u.totalServedBits += served
+	u.bufBytes -= bytes
+	for bytes > 0 && len(u.queue) > 0 {
+		head := &u.queue[0]
+		remaining := head.Bytes - u.headServed
+		if bytes < remaining {
+			u.headServed += bytes
+			bytes = 0
+			break
+		}
+		bytes -= remaining
+		done := u.queue[0]
+		u.queue = u.queue[1:]
+		u.headServed = 0
+		if u.deliver != nil {
+			u.deliver(done)
+		}
+	}
+	// A drained buffer forfeits leftover fractional grant bytes: the credit
+	// models sub-byte remainders of grants actually spent on queued data,
+	// and carrying it across an idle gap would inflate the first grant of
+	// the next busy period with bytes from a grant long expired.
+	if u.bufBytes == 0 {
+		u.credit = 0
+	}
+	return served
+}
+
+func (u *UE) emitDiag() {
+	rep := DiagReport{
+		At:          u.cell.clk.Now(),
+		BufferBytes: u.bufBytes,
+		SumTBSBits:  u.diagTBS,
+		Subframes:   u.diagSubframes,
+	}
+	u.diagTBS = 0
+	u.diagSubframes = 0
+	if u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At) {
+		u.diagStalled++
+		return
+	}
+	if u.onDiag != nil {
+		u.onDiag(rep)
+	}
+}

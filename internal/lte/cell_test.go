@@ -1,0 +1,149 @@
+package lte
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"poi360/internal/simclock"
+)
+
+// testCell builds an n-UE cell on a fresh clock. refill keeps each UE's
+// buffer topped up to the given byte level every millisecond, modeling a
+// saturating (backlogged) or lightly loaded source.
+func testCell(t *testing.T, prof CellProfile, levels []int) (*simclock.Clock, *Cell, []*UE) {
+	t.Helper()
+	clk := simclock.New()
+	cell, err := NewCell(clk, DefaultCellConfig(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ues := make([]*UE, len(levels))
+	for i := range levels {
+		u, err := cell.AddUE(DefaultUEConfig(int64(1000+i)), func(Packet) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ues[i] = u
+	}
+	for i, u := range ues {
+		u, level := u, levels[i]
+		clk.Ticker(Subframe, func() {
+			if want := level - u.BufferBytes(); want > 0 {
+				u.Enqueue(Packet{Bytes: want})
+			}
+		})
+	}
+	cell.Start()
+	return clk, cell, ues
+}
+
+// Two identical backlogged UEs must converge to near-equal long-run
+// service: the PF metric equalizes served-rate ratios when channels are
+// symmetric.
+func TestPFEqualBackloggedSharesConverge(t *testing.T) {
+	clk, _, ues := testCell(t, ProfileCampus, []int{64 << 10, 64 << 10})
+	clk.Run(30 * time.Second)
+	a, b := ues[0].TotalServedBits(), ues[1].TotalServedBits()
+	if a <= 0 || b <= 0 {
+		t.Fatalf("starved UE: a=%g b=%g", a, b)
+	}
+	ratio := a / b
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("unfair split between identical UEs: a=%g b=%g ratio=%g", a, b, ratio)
+	}
+}
+
+// A UE's served rate must grow with its own buffer occupancy (Fig. 5):
+// below the knee the grant is demand-limited, so a deeper buffer earns
+// more subframe bits even under contention.
+func TestPFServiceGrowsWithOwnBuffer(t *testing.T) {
+	// Low demand: ~2 KB standing buffer (well under the 10 KB knee).
+	_, lowServed := runTwoUE(t, 2<<10)
+	// High demand: 20 KB standing buffer (above the knee).
+	_, highServed := runTwoUE(t, 20<<10)
+	if highServed <= lowServed*1.5 {
+		t.Fatalf("served rate did not grow with own buffer: low=%g high=%g", lowServed, highServed)
+	}
+}
+
+// runTwoUE runs a 2-UE campus cell where UE 0 is backlogged and UE 1's
+// buffer is held at level; it returns (UE0, UE1) total served bits.
+func runTwoUE(t *testing.T, level int) (float64, float64) {
+	t.Helper()
+	clk, _, ues := testCell(t, ProfileCampus, []int{64 << 10, level})
+	clk.Run(20 * time.Second)
+	return ues[0].TotalServedBits(), ues[1].TotalServedBits()
+}
+
+// The cell must not grant more than its capacity allows: total served
+// bits across UEs stay within the nominal capacity budget (plus TBS-noise
+// headroom).
+func TestPFCellConservesCapacity(t *testing.T) {
+	dur := 20 * time.Second
+	clk, _, ues := testCell(t, ProfileCampus, []int{64 << 10, 64 << 10, 64 << 10, 64 << 10})
+	clk.Run(dur)
+	var total float64
+	for _, u := range ues {
+		total += u.TotalServedBits()
+	}
+	prof := ProfileCampus
+	// Nominal budget: base capacity × (1 - background load) × duration.
+	// TBS noise is zero-mean but allow 30% slack for capacity-process
+	// excursions above base.
+	budget := BaseCapacity(prof.RSSdBm) * (1 - prof.BackgroundLoad) * dur.Seconds() * 1.3
+	if total > budget {
+		t.Fatalf("cell over-granted: served %g bits > budget %g", total, budget)
+	}
+	if total < budget*0.3 {
+		t.Fatalf("cell under-granted: served %g bits, budget %g", total, budget)
+	}
+}
+
+// A multi-UE cell is a pure function of its configuration: two runs with
+// identical seeds produce identical per-UE byte counters.
+func TestCellDeterministic(t *testing.T) {
+	run := func() []float64 {
+		clk, _, ues := testCell(t, ProfileModerate, []int{64 << 10, 8 << 10, 24 << 10})
+		clk.Run(10 * time.Second)
+		out := make([]float64, len(ues))
+		for i, u := range ues {
+			out[i] = u.TotalServedBits()
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic cell: %v vs %v", a, b)
+	}
+}
+
+// AddUE after Start must fail: admission mid-run would disturb the
+// deterministic scheduling order.
+func TestAddUEAfterStartFails(t *testing.T) {
+	clk := simclock.New()
+	cell, err := NewCell(clk, DefaultCellConfig(ProfileCampus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cell.AddUE(DefaultUEConfig(1), func(Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	cell.Start()
+	if _, err := cell.AddUE(DefaultUEConfig(2), func(Packet) {}); err == nil {
+		t.Fatal("AddUE after Start should fail")
+	}
+}
+
+// ServedRate exposes the PF EWMA; after a long backlogged run it must be
+// positive and finite for every UE.
+func TestServedRateFiniteAndPositive(t *testing.T) {
+	clk, _, ues := testCell(t, ProfileCampus, []int{64 << 10, 64 << 10})
+	clk.Run(5 * time.Second)
+	for i, u := range ues {
+		r := u.ServedRate()
+		if !(r > 0) || math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Fatalf("UE %d ServedRate = %g", i, r)
+		}
+	}
+}

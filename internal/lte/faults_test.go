@@ -123,12 +123,12 @@ func TestUplinkCreditClearedOnDrain(t *testing.T) {
 	}
 	// Serve a packet with a grant that leaves fractional credit behind.
 	u.Enqueue(Packet{Bytes: 100})
-	u.serve(100*8 + 7) // 100 bytes + 7 bits of fractional credit
+	u.ue.serve(100*8 + 7) // 100 bytes + 7 bits of fractional credit
 	if u.BufferBytes() != 0 {
 		t.Fatalf("buffer should have drained, has %d bytes", u.BufferBytes())
 	}
-	if u.credit != 0 {
-		t.Fatalf("credit %v survived the drain", u.credit)
+	if u.ue.credit != 0 {
+		t.Fatalf("credit %v survived the drain", u.ue.credit)
 	}
 
 	// After an idle gap, an identical busy period must account identically:
@@ -136,12 +136,12 @@ func TestUplinkCreditClearedOnDrain(t *testing.T) {
 	// credit.
 	before := u.TotalServedBits()
 	u.Enqueue(Packet{Bytes: 100})
-	u.serve(100 * 8)
+	u.ue.serve(100 * 8)
 	if got := u.TotalServedBits() - before; got != 800 {
 		t.Fatalf("second busy period served %v bits, want exactly 800", got)
 	}
-	if u.credit != 0 {
-		t.Fatalf("credit %v left after exact-grant drain", u.credit)
+	if u.ue.credit != 0 {
+		t.Fatalf("credit %v left after exact-grant drain", u.ue.credit)
 	}
 }
 
@@ -154,13 +154,13 @@ func TestUplinkCreditAccumulatesWhileBusy(t *testing.T) {
 		t.Fatal(err)
 	}
 	u.Enqueue(Packet{Bytes: 100})
-	u.serve(4) // half a byte
-	if u.credit != 0.5 {
-		t.Fatalf("credit = %v, want 0.5", u.credit)
+	u.ue.serve(4) // half a byte
+	if u.ue.credit != 0.5 {
+		t.Fatalf("credit = %v, want 0.5", u.ue.credit)
 	}
-	u.serve(4) // second half → one whole byte served
-	if u.credit != 0 {
-		t.Fatalf("credit = %v, want 0 after the byte completes", u.credit)
+	u.ue.serve(4) // second half → one whole byte served
+	if u.ue.credit != 0 {
+		t.Fatalf("credit = %v, want 0 after the byte completes", u.ue.credit)
 	}
 	if u.BufferBytes() != 99 {
 		t.Fatalf("buffer = %d, want 99", u.BufferBytes())

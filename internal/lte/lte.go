@@ -1,14 +1,19 @@
-// Package lte models the LTE uplink path of a POI360 sender at subframe
-// (1 ms) granularity: the modem firmware buffer, a proportional-fair grant
-// schedule in which the UE's service rate grows with its own buffer
+// Package lte models the LTE uplink path of POI360 senders at subframe
+// (1 ms) granularity: per-UE modem firmware buffers, a proportional-fair
+// grant schedule in which a UE's service rate grows with its own buffer
 // occupancy (the paper's Fig. 5 relation), stochastic cell capacity driven
 // by signal strength, background load and mobility, and the diagnostic
 // interface that reports firmware-buffer occupancy and transport block
 // sizes (TBS) every 40 ms — the MobileInsight-style feed FBCC consumes.
+//
+// The central type is Cell, which admits any number of UEs and allocates
+// per-subframe grants with a true proportional-fair metric when several
+// UEs contend. Uplink is the legacy single-user facade: a 1-UE cell whose
+// in-cell contention is folded into the stochastic background-load
+// process, preserved bit-for-bit for existing callers.
 package lte
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -31,6 +36,8 @@ type CellProfile struct {
 	RSSdBm float64
 	// BackgroundLoad is the long-run fraction of uplink capacity consumed
 	// by other users in the cell (0 = idle, ~0.45 = busy campus noon).
+	// In a multi-UE Cell it models only *non-simulated* competitors;
+	// contention between attached UEs emerges from the PF scheduler.
 	BackgroundLoad float64
 	// SpeedMph adds mobility-driven fading and handover-like outages.
 	SpeedMph float64
@@ -69,7 +76,8 @@ func BaseCapacity(rssDBm float64) float64 {
 	return anchors[len(anchors)-1].bps
 }
 
-// Config parameterizes the uplink model.
+// Config parameterizes the legacy single-UE uplink model (Uplink). It is
+// the union of one CellConfig and one UEConfig; NewUplink splits it.
 type Config struct {
 	Profile CellProfile
 	// BufferKneeBytes is the firmware-buffer occupancy at which the
@@ -114,24 +122,34 @@ func DefaultConfig(p CellProfile) Config {
 	}
 }
 
+// cellConfig extracts the cell-wide half of the legacy Config.
+func (c Config) cellConfig() CellConfig {
+	return CellConfig{
+		Profile:       c.Profile,
+		GrantProb:     c.GrantProb,
+		PFWindow:      DefaultPFWindow,
+		CapacityFault: c.CapacityFault,
+	}
+}
+
+// ueConfig extracts the per-UE half of the legacy Config.
+func (c Config) ueConfig() UEConfig {
+	return UEConfig{
+		BufferKneeBytes: c.BufferKneeBytes,
+		BufferCapBytes:  c.BufferCapBytes,
+		TBSNoise:        c.TBSNoise,
+		DiagPeriod:      c.DiagPeriod,
+		Seed:            c.Profile.Seed,
+		DiagFault:       c.DiagFault,
+	}
+}
+
 // Validate reports an error for incoherent configurations.
 func (c Config) Validate() error {
-	if c.BufferKneeBytes <= 0 {
-		return fmt.Errorf("lte: BufferKneeBytes must be positive, got %g", c.BufferKneeBytes)
+	if err := c.ueConfig().Validate(); err != nil {
+		return err
 	}
-	if c.BufferCapBytes <= 0 {
-		return fmt.Errorf("lte: BufferCapBytes must be positive, got %d", c.BufferCapBytes)
-	}
-	if c.GrantProb <= 0 || c.GrantProb > 1 {
-		return fmt.Errorf("lte: GrantProb must be in (0,1], got %g", c.GrantProb)
-	}
-	if c.DiagPeriod <= 0 || c.DiagPeriod%Subframe != 0 {
-		return fmt.Errorf("lte: DiagPeriod must be a positive multiple of %v, got %v", Subframe, c.DiagPeriod)
-	}
-	if c.Profile.BackgroundLoad < 0 || c.Profile.BackgroundLoad >= 1 {
-		return fmt.Errorf("lte: BackgroundLoad must be in [0,1), got %g", c.Profile.BackgroundLoad)
-	}
-	return nil
+	return c.cellConfig().Validate()
 }
 
 // Packet is a transport-layer packet queued in the firmware buffer. Payload
@@ -152,204 +170,78 @@ type DiagReport struct {
 	Subframes   int     // subframes covered (DiagPeriod / 1 ms)
 }
 
-// Uplink is the modem + air-interface model. Create with NewUplink, then
-// Start. All callbacks run on the simulation clock's goroutine.
+// Uplink is the legacy single-user modem + air-interface facade: a Cell
+// with exactly one UE, in-cell contention folded into the stochastic
+// background-load process. Create with NewUplink, then Start. All
+// callbacks run on the simulation clock's goroutine.
 type Uplink struct {
-	clk *simclock.Clock
-	cfg Config
-	rng *rand.Rand
-
-	deliver func(Packet)
-	onDiag  func(DiagReport)
-
-	// Firmware buffer: FIFO with partial-packet service.
-	queue      []Packet
-	headServed int // bytes of queue[0] already transmitted
-	bufBytes   int
-	credit     float64 // fractional bytes of grant not yet applied
-	dropped    int64
-
-	cap capacityProcess
-
-	// Diag accumulation.
-	diagTBS       float64
-	diagSubframes int
-	diagStalled   int64 // reports suppressed by a scripted DiagFault
-
-	// Running statistics.
-	totalServedBits float64
-	started         bool
+	cell *Cell
+	ue   *UE
 }
 
-// NewUplink builds an uplink on clk that calls deliver for each packet that
-// finishes transmission over the air. deliver may be nil.
+// NewUplink builds a 1-UE cell on clk that calls deliver for each packet
+// that finishes transmission over the air. deliver may be nil.
+//
+// The cell's capacity process and the UE's grant draws share one RNG
+// stream seeded from cfg.Profile.Seed, preserving the exact trajectory of
+// the pre-Cell single-user model.
 func NewUplink(clk *simclock.Clock, cfg Config, deliver func(Packet)) (*Uplink, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	u := &Uplink{
-		clk:     clk,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Profile.Seed)),
-		deliver: deliver,
+	cell, err := NewCell(clk, cfg.cellConfig())
+	if err != nil {
+		return nil, err
 	}
-	u.cap.init(cfg.Profile, rand.New(rand.NewSource(cfg.Profile.Seed+1)))
-	u.cap.fault = cfg.CapacityFault
-	u.cap.recompute() // apply any scripted factor active at t=0
-	return u, nil
+	ue := cell.addLegacyUE(cfg.ueConfig(), deliver)
+	return &Uplink{cell: cell, ue: ue}, nil
 }
+
+// UE returns the uplink's single UE (for shared wiring with Cell-based
+// callers).
+func (u *Uplink) UE() *UE { return u.ue }
+
+// Cell returns the underlying 1-UE cell.
+func (u *Uplink) Cell() *Cell { return u.cell }
 
 // SetDiagListener registers the consumer of 40 ms diagnostic reports
 // (FBCC's input). Only one listener is supported; later calls replace it.
-func (u *Uplink) SetDiagListener(fn func(DiagReport)) { u.onDiag = fn }
+func (u *Uplink) SetDiagListener(fn func(DiagReport)) { u.ue.SetDiagListener(fn) }
 
 // Start schedules the subframe and diagnostic timers. It must be called
 // exactly once, before running the clock.
-func (u *Uplink) Start() {
-	if u.started {
-		panic("lte: Uplink started twice")
-	}
-	u.started = true
-	// The diag report is emitted from the subframe loop itself so a report
-	// at t covers exactly the subframes in (t−DiagPeriod, t].
-	u.clk.Ticker(Subframe, u.subframe)
-}
+func (u *Uplink) Start() { u.cell.Start() }
 
 // Enqueue appends a packet to the firmware buffer. It reports false (and
 // counts a drop) when the modem queue cap would be exceeded.
-func (u *Uplink) Enqueue(p Packet) bool {
-	if u.bufBytes+p.Bytes > u.cfg.BufferCapBytes {
-		u.dropped++
-		return false
-	}
-	p.Enq = u.clk.Now()
-	u.queue = append(u.queue, p)
-	u.bufBytes += p.Bytes
-	return true
-}
+func (u *Uplink) Enqueue(p Packet) bool { return u.ue.Enqueue(p) }
 
 // BufferBytes reports the instantaneous firmware-buffer occupancy.
-func (u *Uplink) BufferBytes() int { return u.bufBytes }
+func (u *Uplink) BufferBytes() int { return u.ue.BufferBytes() }
 
 // Dropped reports packets rejected at the modem queue cap.
-func (u *Uplink) Dropped() int64 { return u.dropped }
+func (u *Uplink) Dropped() int64 { return u.ue.Dropped() }
 
 // TotalServedBits reports the cumulative bits transmitted over the air.
-func (u *Uplink) TotalServedBits() float64 { return u.totalServedBits }
+func (u *Uplink) TotalServedBits() float64 { return u.ue.TotalServedBits() }
 
 // CurrentCapacity reports the instantaneous saturated PHY rate in bits/s —
 // what the UE would get with a full buffer. Exposed for tests and traces.
-func (u *Uplink) CurrentCapacity() float64 { return u.cap.current }
+func (u *Uplink) CurrentCapacity() float64 { return u.cell.CurrentCapacity() }
 
 // ServiceRate returns the buffer-dependent expected PHY rate: the paper's
 // Fig. 5 relation — linear in occupancy until the knee, then flat at the
 // cell capacity.
-func (u *Uplink) ServiceRate(bufferBytes int) float64 {
-	f := float64(bufferBytes) / u.cfg.BufferKneeBytes
-	if f > 1 {
-		f = 1
-	}
-	return u.cap.current * f
-}
-
-// subframe runs once per millisecond: advance the capacity process, draw a
-// grant, and serve the buffer.
-func (u *Uplink) subframe() {
-	u.cap.step(u.rng, Subframe)
-	u.diagSubframes++
-
-	if u.bufBytes > 0 {
-		// Proportional-fair uplink: the *grant frequency* grows with the
-		// UE's own buffer occupancy (larger BSR → scheduled more often),
-		// while each grant carries a roughly fixed transport block sized
-		// so that a saturated buffer yields the full cell capacity. This
-		// keeps the Fig. 5 mean relation (rate ≈ cap·min(1, B/knee)) while
-		// letting a single grant drain a small buffer to exactly empty —
-		// the behaviour behind Fig. 6's 40%-empty observation.
-		occupancy := float64(u.bufBytes) / u.cfg.BufferKneeBytes
-		if occupancy > 1 {
-			occupancy = 1
-		}
-		if u.rng.Float64() <= u.cfg.GrantProb*occupancy {
-			tbsBits := u.cap.current * Subframe.Seconds() / u.cfg.GrantProb
-			tbsBits *= math.Max(0.1, 1+u.rng.NormFloat64()*u.cfg.TBSNoise)
-			u.serve(tbsBits)
-		}
-	}
-
-	if u.diagSubframes >= int(u.cfg.DiagPeriod/Subframe) {
-		u.emitDiag()
-	}
-}
-
-// serve transmits up to tbsBits from the head of the firmware buffer,
-// delivering packets whose last byte goes out this subframe.
-func (u *Uplink) serve(tbsBits float64) {
-	// Fractional grant bytes accumulate as credit so that tiny service
-	// rates (near-empty buffer) still drain the queue instead of being
-	// floored away subframe after subframe.
-	u.credit += tbsBits / 8
-	bytes := int(u.credit)
-	if bytes <= 0 {
-		return
-	}
-	u.credit -= float64(bytes)
-	if bytes > u.bufBytes {
-		bytes = u.bufBytes
-	}
-	u.diagTBS += float64(bytes) * 8
-	u.totalServedBits += float64(bytes) * 8
-	u.bufBytes -= bytes
-	for bytes > 0 && len(u.queue) > 0 {
-		head := &u.queue[0]
-		remaining := head.Bytes - u.headServed
-		if bytes < remaining {
-			u.headServed += bytes
-			bytes = 0
-			break
-		}
-		bytes -= remaining
-		done := u.queue[0]
-		u.queue = u.queue[1:]
-		u.headServed = 0
-		if u.deliver != nil {
-			u.deliver(done)
-		}
-	}
-	// A drained buffer forfeits leftover fractional grant bytes: the credit
-	// models sub-byte remainders of grants actually spent on queued data,
-	// and carrying it across an idle gap would inflate the first grant of
-	// the next busy period with bytes from a grant long expired.
-	if u.bufBytes == 0 {
-		u.credit = 0
-	}
-}
-
-func (u *Uplink) emitDiag() {
-	rep := DiagReport{
-		At:          u.clk.Now(),
-		BufferBytes: u.bufBytes,
-		SumTBSBits:  u.diagTBS,
-		Subframes:   u.diagSubframes,
-	}
-	u.diagTBS = 0
-	u.diagSubframes = 0
-	if u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At) {
-		u.diagStalled++
-		return
-	}
-	if u.onDiag != nil {
-		u.onDiag(rep)
-	}
-}
+func (u *Uplink) ServiceRate(bufferBytes int) float64 { return u.ue.ServiceRate(bufferBytes) }
 
 // DiagStalled reports how many diagnostic reports a scripted DiagFault has
 // suppressed so far.
-func (u *Uplink) DiagStalled() int64 { return u.diagStalled }
+func (u *Uplink) DiagStalled() int64 { return u.ue.DiagStalled() }
 
-// capacityProcess composes the stochastic influences on the UE's saturated
-// uplink rate: RSS base rate, Ornstein-Uhlenbeck background load with busy
-// bursts, mobility fades, and rare handover-like outages at speed.
+// capacityProcess composes the stochastic influences on the cell's
+// saturated uplink rate: RSS base rate, Ornstein-Uhlenbeck background load
+// with busy bursts, mobility fades, and rare handover-like outages at
+// speed.
 type capacityProcess struct {
 	base    float64
 	current float64
@@ -371,14 +263,13 @@ type capacityProcess struct {
 	fault func(now time.Duration) float64
 }
 
-func (cp *capacityProcess) init(p CellProfile, rng *rand.Rand) {
+func (cp *capacityProcess) init(p CellProfile) {
 	cp.base = BaseCapacity(p.RSSdBm)
 	cp.loadTarget = p.BackgroundLoad
 	cp.loadState = p.BackgroundLoad
 	cp.speedMph = p.SpeedMph
 	cp.fadeFactor = 1
 	cp.recompute()
-	_ = rng
 }
 
 func (cp *capacityProcess) recompute() {

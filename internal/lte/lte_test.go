@@ -112,7 +112,7 @@ func TestBufferCapDrops(t *testing.T) {
 
 func TestServiceRateShape(t *testing.T) {
 	_, u := newTestUplink(t, ProfileStrongIdle, nil)
-	knee := u.cfg.BufferKneeBytes
+	knee := u.ue.cfg.BufferKneeBytes
 	half := u.ServiceRate(int(knee / 2))
 	full := u.ServiceRate(int(knee))
 	beyond := u.ServiceRate(int(knee * 3))

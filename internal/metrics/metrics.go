@@ -280,3 +280,23 @@ func (e *EWMA) Add(x float64) float64 {
 
 // Value returns the current average (0 before any observation).
 func (e *EWMA) Value() float64 { return e.val }
+
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) of a
+// non-negative allocation — 1 when every user gets the same share, 1/n
+// when one user gets everything. It is the standard fairness measure for
+// per-UE throughput in a shared cell. Empty input yields 0; an all-zero
+// allocation yields 1 (everyone equally starved).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

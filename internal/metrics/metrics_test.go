@@ -225,3 +225,34 @@ func TestPropertyPercentileMonotone(t *testing.T) {
 		t.Fatalf("percentiles not monotone: %+v", s)
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness(nil); got != 0 {
+		t.Fatalf("empty: got %g, want 0", got)
+	}
+	if got := JainFairness([]float64{0, 0, 0}); got != 1 {
+		t.Fatalf("all-zero: got %g, want 1", got)
+	}
+	if got := JainFairness([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: got %g, want 1", got)
+	}
+	n := 8
+	xs := make([]float64, n)
+	xs[0] = 42
+	if got, want := JainFairness(xs), 1/float64(n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("monopolized: got %g, want %g", got, want)
+	}
+	// 2-user closed form: (a+b)² / (2(a²+b²)).
+	a, b := 3.0, 1.0
+	want := (a + b) * (a + b) / (2 * (a*a + b*b))
+	if got := JainFairness([]float64{a, b}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("2-user: got %g, want %g", got, want)
+	}
+	// Fairness must not depend on allocation order or scale.
+	if JainFairness([]float64{1, 2, 4}) != JainFairness([]float64{4, 1, 2}) {
+		t.Fatal("order dependence")
+	}
+	if math.Abs(JainFairness([]float64{1, 2, 4})-JainFairness([]float64{10, 20, 40})) > 1e-12 {
+		t.Fatal("scale dependence")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"poi360/internal/lte"
+	"poi360/internal/seeds"
 	"poi360/internal/simclock"
 )
 
@@ -285,49 +286,117 @@ type Transport interface {
 	SetFeedbackFault(LinkFault)
 }
 
-// Cellular is the paper's main transport: LTE uplink bottleneck followed by
-// the core network.
+// Cellular is the paper's main transport: an LTE uplink bottleneck — one
+// UE's share of a cell — followed by the core network. Obtain one from
+// NewCellular (a private 1-UE cell, the paper's single-user scenario) or
+// SharedCell.Attach (one UE of a contended multi-user cell).
 type Cellular struct {
+	// UE is this transport's modem in its cell (always non-nil).
+	UE *lte.UE
+	// Uplink is the legacy single-user facade; non-nil only on the
+	// private-cell path built by NewCellular.
 	Uplink *lte.Uplink
 	core   *DelayLink
 	rev    *DelayLink
 }
 
-// NewCellular wires an LTE uplink into a core-network path. deliverFwd
-// receives media packet payloads at the far end; deliverRev receives
-// feedback payloads at the sender.
+// NewCellular wires a private 1-UE LTE cell into a core-network path.
+// deliverFwd receives media packet payloads at the far end; deliverRev
+// receives feedback payloads at the sender. The forward and reverse
+// wide-area links derive their jitter streams from the cell seed via the
+// named "core"/"rev" streams (internal/seeds).
 func NewCellular(clk *simclock.Clock, lteCfg lte.Config, prof PathProfile, deliverFwd, deliverRev func(any)) (*Cellular, error) {
 	c := &Cellular{}
-	c.core = NewDelayLink(clk, lteCfg.Profile.Seed+101, prof.CoreBase, prof.CoreJitterStd, prof.CoreSpikeProb, prof.CoreSpikeMax, deliverFwd)
+	c.core = newPathLink(clk, lteCfg.Profile.Seed, "core", prof, deliverFwd)
 	ul, err := lte.NewUplink(clk, lteCfg, func(p lte.Packet) { c.core.Send(p.Payload) })
 	if err != nil {
 		return nil, err
 	}
 	c.Uplink = ul
-	c.rev = NewDelayLink(clk, lteCfg.Profile.Seed+202, prof.RevBase, prof.RevJitterStd, prof.RevSpikeProb, prof.RevSpikeMax, deliverRev)
+	c.UE = ul.UE()
+	c.rev = newRevLink(clk, lteCfg.Profile.Seed, prof, deliverRev)
 	ul.Start()
 	return c, nil
 }
 
+// newPathLink builds the forward core-network segment of a path with its
+// jitter stream derived from (seed, tag).
+func newPathLink(clk *simclock.Clock, seed int64, tag string, prof PathProfile, deliver func(any)) *DelayLink {
+	return NewDelayLink(clk, seeds.Stream(seed, tag), prof.CoreBase, prof.CoreJitterStd, prof.CoreSpikeProb, prof.CoreSpikeMax, deliver)
+}
+
+// newRevLink builds the reverse feedback segment of a path with its jitter
+// stream derived from (seed, "rev").
+func newRevLink(clk *simclock.Clock, seed int64, prof PathProfile, deliver func(any)) *DelayLink {
+	return NewDelayLink(clk, seeds.Stream(seed, "rev"), prof.RevBase, prof.RevJitterStd, prof.RevSpikeProb, prof.RevSpikeMax, deliver)
+}
+
 // Send implements Transport.
 func (c *Cellular) Send(bytes int, payload any) bool {
-	return c.Uplink.Enqueue(lte.Packet{Bytes: bytes, Payload: payload})
+	return c.UE.Enqueue(lte.Packet{Bytes: bytes, Payload: payload})
 }
 
 // SendFeedback implements Transport.
 func (c *Cellular) SendFeedback(payload any) { c.rev.Send(payload) }
 
 // AccessBufferBytes implements Transport.
-func (c *Cellular) AccessBufferBytes() int { return c.Uplink.BufferBytes() }
+func (c *Cellular) AccessBufferBytes() int { return c.UE.BufferBytes() }
 
 // SetDiagListener implements Transport.
-func (c *Cellular) SetDiagListener(fn func(lte.DiagReport)) { c.Uplink.SetDiagListener(fn) }
+func (c *Cellular) SetDiagListener(fn func(lte.DiagReport)) { c.UE.SetDiagListener(fn) }
 
 // SetFeedbackFault implements Transport.
 func (c *Cellular) SetFeedbackFault(fn LinkFault) { c.rev.SetFault(fn) }
 
 // FeedbackFaultDropped reports feedback messages removed by the fault hook.
 func (c *Cellular) FeedbackFaultDropped() int64 { return c.rev.FaultDropped() }
+
+// DiagStalled reports diagnostic reports suppressed by a scripted
+// DiagFault on this transport's UE.
+func (c *Cellular) DiagStalled() int64 { return c.UE.DiagStalled() }
+
+// SharedCell owns one multi-user LTE cell and binds each attached
+// session's forward path to its own UE, so uplink contention between the
+// sessions *emerges* from the cell's proportional-fair subframe scheduler
+// instead of being modeled by a scalar load. Attach every session, then
+// call Start exactly once before running the clock.
+type SharedCell struct {
+	clk *simclock.Clock
+	// Cell is the shared radio resource (exposed for tests and traces).
+	Cell *lte.Cell
+	prof PathProfile
+}
+
+// NewSharedCell builds a contended cell on clk. Every session attached via
+// Attach shares cellCfg.Profile's capacity.
+func NewSharedCell(clk *simclock.Clock, cellCfg lte.CellConfig, prof PathProfile) (*SharedCell, error) {
+	cell, err := lte.NewCell(clk, cellCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedCell{clk: clk, Cell: cell, prof: prof}, nil
+}
+
+// Attach admits one session to the cell: a new UE for its uplink plus
+// per-session forward/reverse wide-area links whose jitter streams derive
+// from linkSeed (named "core"/"rev" streams). deliverFwd receives media
+// packet payloads at the far end; deliverRev receives feedback payloads at
+// the sender. Attach must precede Start.
+func (sc *SharedCell) Attach(ueCfg lte.UEConfig, linkSeed int64, deliverFwd, deliverRev func(any)) (*Cellular, error) {
+	c := &Cellular{}
+	c.core = newPathLink(sc.clk, linkSeed, "core", sc.prof, deliverFwd)
+	ue, err := sc.Cell.AddUE(ueCfg, func(p lte.Packet) { c.core.Send(p.Payload) })
+	if err != nil {
+		return nil, err
+	}
+	c.UE = ue
+	c.rev = newRevLink(sc.clk, linkSeed, sc.prof, deliverRev)
+	return c, nil
+}
+
+// Start schedules the cell's subframe scheduler. Call exactly once, after
+// every Attach and before running the clock.
+func (sc *SharedCell) Start() { sc.Cell.Start() }
 
 // Wireline is the campus-network baseline: a fat, stable access bottleneck.
 type Wireline struct {
@@ -340,12 +409,14 @@ type Wireline struct {
 // above the raw 360° stream rate, as on the paper's campus network.
 const WirelineRate = 20e6
 
-// NewWireline builds the wireline transport.
+// NewWireline builds the wireline transport. The forward and reverse links
+// derive their jitter streams from seed via the named "core"/"rev" streams
+// (internal/seeds).
 func NewWireline(clk *simclock.Clock, seed int64, prof PathProfile, deliverFwd, deliverRev func(any)) *Wireline {
 	w := &Wireline{}
-	w.core = NewDelayLink(clk, seed+101, prof.CoreBase, prof.CoreJitterStd, prof.CoreSpikeProb, prof.CoreSpikeMax, deliverFwd)
+	w.core = newPathLink(clk, seed, "core", prof, deliverFwd)
 	w.q = NewQueue(clk, WirelineRate, 256*1024, func(p any) { w.core.Send(p) })
-	w.rev = NewDelayLink(clk, seed+202, prof.RevBase, prof.RevJitterStd, prof.RevSpikeProb, prof.RevSpikeMax, deliverRev)
+	w.rev = newRevLink(clk, seed, prof, deliverRev)
 	return w
 }
 

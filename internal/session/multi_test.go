@@ -1,0 +1,146 @@
+package session
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+)
+
+func multiCfg(n int, dur time.Duration) MultiConfig {
+	mc := MultiConfig{
+		Duration: dur,
+		Cell:     lte.ProfileCampus,
+		Seed:     7,
+	}
+	for i := 0; i < n; i++ {
+		rc := RCFBCC
+		if i%2 == 1 {
+			rc = RCGCC
+		}
+		mc.Sessions = append(mc.Sessions, Config{RC: rc})
+	}
+	return mc
+}
+
+func TestRunSharedBasic(t *testing.T) {
+	mc := multiCfg(2, 30*time.Second)
+	results, err := RunShared(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.FramesSent == 0 {
+			t.Fatalf("session %d sent no frames", i)
+		}
+		if r.FramesDelivered == 0 {
+			t.Fatalf("session %d delivered no frames", i)
+		}
+		if len(r.Diag) == 0 {
+			t.Fatalf("session %d has no diag samples", i)
+		}
+		if r.Config.Seed == 0 {
+			t.Fatalf("session %d seed not derived", i)
+		}
+	}
+	if results[0].Config.Seed == results[1].Config.Seed {
+		t.Fatal("sessions share a derived seed")
+	}
+}
+
+func TestRunSharedValidate(t *testing.T) {
+	if _, err := RunShared(MultiConfig{Duration: time.Second}); err == nil {
+		t.Fatal("no sessions should fail")
+	}
+	if _, err := RunShared(multiCfg(0, 10*time.Second)); err == nil {
+		t.Fatal("empty Sessions should fail")
+	}
+	mc := multiCfg(2, 0)
+	if _, err := RunShared(mc); err == nil {
+		t.Fatal("zero Duration should fail")
+	}
+}
+
+// RunShared must be a pure function of its config: repeated sequential
+// runs and concurrent runs all yield deeply identical results — the same
+// property the parallel experiment engine relies on for byte-identical
+// reports at any worker count.
+func TestRunSharedDeterministic(t *testing.T) {
+	mc := multiCfg(3, 20*time.Second)
+	base, err := RunShared(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	out := make([][]*Result, 4)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := RunShared(mc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range out {
+		if !reflect.DeepEqual(base, r) {
+			t.Fatalf("concurrent run %d diverged from sequential baseline", i)
+		}
+	}
+}
+
+// Adding contenders to the cell must reduce each session's throughput
+// share: contention has to *emerge* from the PF scheduler, not be a no-op.
+func TestRunSharedContentionReducesShare(t *testing.T) {
+	mean := func(rs []*Result) float64 {
+		var tot float64
+		var n int
+		for _, r := range rs {
+			s := r.ThroughputSummary()
+			tot += s.Mean
+			n++
+		}
+		return tot / float64(n)
+	}
+	solo, err := RunShared(multiCfg(1, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunShared(multiCfg(4, 30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1, m4 := mean(solo), mean(four); m4 >= m1*0.8 {
+		t.Fatalf("4-user share %.0f b/s not below solo %.0f b/s", m4, m1)
+	}
+}
+
+// Identical backlogged users in a shared cell should split capacity
+// fairly: Jain's index across per-session mean throughput stays high.
+func TestRunSharedFairSplit(t *testing.T) {
+	mc := multiCfg(4, 30*time.Second)
+	for i := range mc.Sessions {
+		mc.Sessions[i].RC = RCFBCC
+	}
+	results, err := RunShared(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := make([]float64, len(results))
+	for i, r := range results {
+		shares[i] = r.ThroughputSummary().Mean
+	}
+	if j := metrics.JainFairness(shares); j < 0.8 {
+		t.Fatalf("unfair split: Jain=%.3f shares=%v", j, shares)
+	}
+}

@@ -1,5 +1,7 @@
 package session
 
+import "poi360/internal/seeds"
+
 // DeriveSeed maps a base seed and a non-negative (lane, step) coordinate —
 // e.g. the (user, repeat) grid of an experiment batch — to a per-session
 // seed that cannot collide with any other coordinate under the same base.
@@ -8,22 +10,21 @@ package session
 // injective: (lane=37, step=0) and (lane=0, step=1000) collide exactly,
 // and once step ≥ 28 the per-lane seed ranges interleave, so growing the
 // grid silently folds "independent" sessions onto correlated randomness.
-// Here the coordinate is packed injectively into a 64-bit word
-// (lane in the high 32 bits, step in the low 32 bits), XORed with the
-// base, and passed through the SplitMix64 finalizer (Steele et al.,
-// "Fast Splittable Pseudorandom Number Generators", OOPSLA'14). The
-// finalizer is a bijection on 64-bit words, so for a fixed base two
-// distinct (lane, step) pairs can never map to the same seed, while the
-// avalanche mixing decorrelates neighbouring coordinates.
+// The derivation (internal/seeds) packs the coordinate injectively into a
+// 64-bit word, XORs it with the base, and passes it through the SplitMix64
+// finalizer — a bijection, so for a fixed base two distinct (lane, step)
+// pairs can never map to the same seed, while the avalanche mixing
+// decorrelates neighbouring coordinates.
 //
 // lane and step must fit in uint32; they are truncated otherwise.
 func DeriveSeed(base int64, lane, step int) int64 {
-	x := uint64(base) ^ (uint64(uint32(lane))<<32 | uint64(uint32(step)))
-	x += 0x9E3779B97F4A7C15 // golden-gamma increment, keeps base=0 non-degenerate
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return int64(x)
+	return seeds.Derive(base, lane, step)
+}
+
+// DeriveStream maps a session seed and a named component stream ("video",
+// "headmotion", "lte", "path", …) to an independent seed for that
+// component's RNG. It replaces the ad-hoc `cfg.Seed+1/+3/+7` offsets that
+// made sessions with nearby base seeds share entire component streams.
+func DeriveStream(base int64, tag string) int64 {
+	return seeds.Stream(base, tag)
 }

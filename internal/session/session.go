@@ -160,7 +160,8 @@ type Config struct {
 	FBCCWatchdogReports int
 }
 
-// Default fills a Config's zero fields. It returns a copy.
+// withDefaults fills a Config's zero fields with the documented defaults
+// and validates the result. It returns a copy.
 func (c Config) withDefaults() (Config, error) {
 	if c.Duration <= 0 {
 		c.Duration = 60 * time.Second
@@ -321,43 +322,78 @@ type feedback struct {
 	sentAt      time.Duration // send instant, for the staleness guard
 }
 
-// Run executes a session to completion and returns its measurements.
+// Session is one POI360 telephony endpoint pair — the 360° source, the
+// compression controller, the encoder/pacer sender, the viewer with its
+// head-motion model, and the feedback loop — decoupled from the clock and
+// network that carry it. Build with New, then Attach to an externally
+// owned simulation clock and transport (a private one, as Run does, or a
+// shared cell's, as RunShared does), run the clock, and collect Result.
 //
-// Run is safe for concurrent use: every run builds its own simulation
-// clock, RNGs, transports, and controllers from cfg and shares nothing
-// with other runs (the parallel experiment engine relies on this). For a
-// given cfg — including Seed — the returned Result is deeply identical
-// across runs. Callers supplying a FrameHook that touches shared state
-// must synchronize it themselves when running sessions concurrently.
-func Run(cfg Config) (*Result, error) {
+// A Session shares nothing with other sessions except what it is attached
+// to, so any number of sessions can ride one clock — the multi-user
+// shared-cell scenario — or each own a private clock and run concurrently
+// on different goroutines (the parallel experiment engine's contract).
+type Session struct {
+	cfg Config
+	res *Result
+
+	clk       *simclock.Clock
+	transport netsim.Transport
+
+	// Viewer state.
+	user     headmotion.Model
+	mismatch *compress.MismatchEstimator
+	gccRx    *ratecontrol.GCCReceiver
+	lastM    time.Duration
+
+	// Sender state.
+	source     *video.Source
+	controller compress.Controller
+	fbcc       *ratecontrol.FBCC
+	predictor  *headmotion.Predictor
+	roiBelief  projection.Tile
+	rgcc       float64
+
+	// Receiver plumbing (built at Attach).
+	reasm      *rtp.Reassembler
+	pacer      *rtp.Pacer
+	secondBits float64
+
+	// Warmup-boundary snapshots for steady-state counters.
+	lostAtWarmup, sentAtWarmup, deliveredAtWarmup int
+
+	attached  bool
+	finalized bool
+}
+
+// New builds a session's endpoints from cfg (applying the documented
+// defaults). The session owns no clock and no transport until Attach.
+func New(cfg Config) (*Session, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Config: cfg}
-	clk := simclock.New()
+	s := &Session{cfg: cfg, res: &Result{Config: cfg}}
 	g := cfg.Video.Grid
 
-	// --- Viewer state -------------------------------------------------
-	user := cfg.UserModel
-	if user == nil {
-		user = headmotion.NewStochastic(cfg.User, cfg.Seed+7)
+	// Viewer.
+	s.user = cfg.UserModel
+	if s.user == nil {
+		s.user = headmotion.NewStochastic(cfg.User, DeriveStream(cfg.Seed, "headmotion"))
 	}
-	mismatch := compress.NewMismatchEstimator(g, cfg.MismatchWindow)
+	s.mismatch = compress.NewMismatchEstimator(g, cfg.MismatchWindow)
 	gccCfg := ratecontrol.DefaultGCCConfig()
-	gccRx, err := ratecontrol.NewGCCReceiver(gccCfg)
+	s.gccRx, err = ratecontrol.NewGCCReceiver(gccCfg)
 	if err != nil {
 		return nil, err
 	}
-	var lastM time.Duration
 
-	// --- Sender state ---------------------------------------------------
-	source := video.NewSource(withSeed(cfg.Video, cfg.Seed))
-	controller, err := makeController(cfg, g)
+	// Sender.
+	s.source = video.NewSource(withSeed(cfg.Video, cfg.Seed))
+	s.controller, err = makeController(cfg, g)
 	if err != nil {
 		return nil, err
 	}
-	var fbcc *ratecontrol.FBCC
 	if cfg.RC == RCFBCC {
 		fcfg := ratecontrol.DefaultFBCCConfig(cfg.Path.NominalRTT())
 		if cfg.FBCCK > 0 {
@@ -375,22 +411,80 @@ func Run(cfg Config) (*Result, error) {
 		case cfg.FBCCWatchdogReports < 0:
 			fcfg.WatchdogReports = 0 // watchdog disabled (paper prototype)
 		}
-		fbcc, err = ratecontrol.NewFBCC(fcfg)
+		s.fbcc, err = ratecontrol.NewFBCC(fcfg)
 		if err != nil {
 			return nil, err
 		}
 	}
-	roiBelief := g.TileAt(user.At(0))
-	rgcc := gccCfg.InitialRate
+	s.predictor = headmotion.NewPredictor(0)
+	s.roiBelief = g.TileAt(s.user.At(0))
+	s.rgcc = gccCfg.InitialRate
+	return s, nil
+}
 
-	// --- Receiver plumbing -------------------------------------------
-	var transport netsim.Transport
-	var secondBits float64
+// Config returns the session's resolved configuration (defaults applied).
+func (s *Session) Config() Config { return s.cfg }
 
-	reasm := rtp.NewReassembler(clk, func(cf rtp.CompletedFrame) {
+// DeliverForward is the transport's forward-path terminus: it must be
+// invoked (on the simulation goroutine) with each rtp.Packet payload that
+// survives the network. Wire it as the transport's deliverFwd callback.
+func (s *Session) DeliverForward(p any) {
+	pkt := p.(rtp.Packet)
+	// GCC observes the network path per packet (RTP timestamps), as in
+	// WebRTC: one-way transport delay, excluding the app-layer queue.
+	s.gccRx.OnPacket(s.clk.Now(), s.clk.Now()-pkt.SentAt, float64(pkt.Bytes)*8, pkt.Seq)
+	s.reasm.OnPacket(pkt)
+}
+
+// DeliverFeedback is the reverse-path terminus: it must be invoked with
+// each feedback payload arriving at the sender. Wire it as the
+// transport's deliverRev callback.
+func (s *Session) DeliverFeedback(p any) {
+	fb := p.(feedback)
+	now := s.clk.Now()
+	// Feedback-staleness guard: a message that spent too long on the
+	// reverse path describes a viewer state the session has moved past.
+	// Integrating its M into the mode controller or adopting its ROI
+	// would steer on garbage — hold the last belief instead and wait
+	// for a fresh message (the degradation the fault scripts probe).
+	if s.cfg.FeedbackStaleAfter > 0 && now-fb.sentAt > s.cfg.FeedbackStaleAfter {
+		s.res.StaleFeedback++
+		return
+	}
+	if !s.cfg.Faults.ROIFrozen(now) {
+		s.roiBelief = fb.roi
+		s.predictor.Observe(now, fb.orientation)
+	}
+	s.controller.ObserveMismatch(fb.m)
+	s.rgcc = fb.rgcc
+}
+
+// Attach binds the session to an externally owned clock and transport and
+// registers every periodic activity (sender frames, viewer feedback,
+// pacing, diagnostics, throughput sampling, warmup snapshots) on clk. The
+// transport's forward and reverse deliveries must already be wired to
+// DeliverForward / DeliverFeedback. Attach must be called exactly once,
+// before the clock runs.
+func (s *Session) Attach(clk *simclock.Clock, transport netsim.Transport) error {
+	if s.attached {
+		return fmt.Errorf("session: Attach called twice")
+	}
+	s.attached = true
+	s.clk = clk
+	s.transport = transport
+	cfg := s.cfg
+	res := s.res
+	g := cfg.Video.Grid
+
+	if !cfg.Faults.Empty() {
+		transport.SetFeedbackFault(cfg.Faults.FeedbackFate)
+	}
+
+	// --- Receiver reassembly ------------------------------------------
+	s.reasm = rtp.NewReassembler(clk, func(cf rtp.CompletedFrame) {
 		now := cf.Arrived
 		delay := now - cf.Frame.Capture + cfg.PipelineDelay
-		actual := user.At(now)
+		actual := s.user.At(now)
 		psnr := cf.Frame.ROIPSNR(cfg.Video, actual, cfg.FoV)
 		level := cf.Frame.ROILevel(g, actual)
 		spatial := level / cf.Frame.Scale
@@ -399,7 +493,7 @@ func Run(cfg Config) (*Result, error) {
 			res.FrameDelays = append(res.FrameDelays, delay)
 			res.ROIPSNRs = append(res.ROIPSNRs, psnr)
 			res.ROILevels = append(res.ROILevels, metrics.TimedSample{At: now, V: level})
-			secondBits += cf.Bits
+			s.secondBits += cf.Bits
 		}
 
 		if cfg.FrameHook != nil {
@@ -414,67 +508,15 @@ func Run(cfg Config) (*Result, error) {
 		if netDelay < 0 {
 			netDelay = 0
 		}
-		lastM = mismatch.Observe(now, g.TileAt(actual), spatial, netDelay)
+		s.lastM = s.mismatch.Observe(now, g.TileAt(actual), spatial, netDelay)
 	})
 
-	deliverFwd := func(p any) {
-		pkt := p.(rtp.Packet)
-		// GCC observes the network path per packet (RTP timestamps), as in
-		// WebRTC: one-way transport delay, excluding the app-layer queue.
-		gccRx.OnPacket(clk.Now(), clk.Now()-pkt.SentAt, float64(pkt.Bytes)*8, pkt.Seq)
-		reasm.OnPacket(pkt)
-	}
-	predictor := headmotion.NewPredictor(0)
-	deliverRev := func(p any) {
-		fb := p.(feedback)
-		now := clk.Now()
-		// Feedback-staleness guard: a message that spent too long on the
-		// reverse path describes a viewer state the session has moved past.
-		// Integrating its M into the mode controller or adopting its ROI
-		// would steer on garbage — hold the last belief instead and wait
-		// for a fresh message (the degradation the fault scripts probe).
-		if cfg.FeedbackStaleAfter > 0 && now-fb.sentAt > cfg.FeedbackStaleAfter {
-			res.StaleFeedback++
-			return
-		}
-		if !cfg.Faults.ROIFrozen(now) {
-			roiBelief = fb.roi
-			predictor.Observe(now, fb.orientation)
-		}
-		controller.ObserveMismatch(fb.m)
-		rgcc = fb.rgcc
-	}
-
-	var uplink *lte.Uplink
-	if cfg.Network == Cellular {
-		lcfg := lte.DefaultConfig(cfg.Cell)
-		lcfg.Profile.Seed = cfg.Seed + 1
-		if !cfg.Faults.Empty() {
-			// The script is an immutable value; its query methods are pure
-			// functions of the instant, so these hooks keep the uplink
-			// deterministic.
-			lcfg.CapacityFault = cfg.Faults.CapacityFactor
-			lcfg.DiagFault = cfg.Faults.DiagStalled
-		}
-		cell, err := netsim.NewCellular(clk, lcfg, cfg.Path, deliverFwd, deliverRev)
-		if err != nil {
-			return nil, err
-		}
-		transport = cell
-		uplink = cell.Uplink
-	} else {
-		transport = netsim.NewWireline(clk, cfg.Seed+1, cfg.Path, deliverFwd, deliverRev)
-	}
-	if !cfg.Faults.Empty() {
-		transport.SetFeedbackFault(cfg.Faults.FeedbackFate)
-	}
-
 	// --- Pacer --------------------------------------------------------
-	initialRate := rgcc
-	if fbcc != nil {
-		initialRate = fbcc.RTPRate()
+	initialRate := s.rgcc
+	if s.fbcc != nil {
+		initialRate = s.fbcc.RTPRate()
 	}
-	pacer := rtp.NewPacer(clk, rtp.DefaultPacerTick, initialRate, func(pkt rtp.Packet) bool {
+	s.pacer = rtp.NewPacer(clk, rtp.DefaultPacerTick, initialRate, func(pkt rtp.Packet) bool {
 		return transport.Send(pkt.Bytes, pkt)
 	})
 
@@ -488,76 +530,27 @@ func Run(cfg Config) (*Result, error) {
 		if rep.At >= cfg.StatsWarmup {
 			res.Diag = append(res.Diag, DiagSample{At: rep.At, BufferBytes: rep.BufferBytes, TBSRate: rate})
 		}
-		if fbcc != nil {
-			fbcc.OnDiag(rep)
+		if s.fbcc != nil {
+			s.fbcc.OnDiag(rep)
 			if !cfg.DisableRTPLoop {
-				pacer.SetRate(fbcc.RTPRate())
+				s.pacer.SetRate(s.fbcc.RTPRate())
 			}
 		}
 	})
 
 	// --- Sender frame loop ---------------------------------------------
 	frameInterval := cfg.Video.FrameInterval()
-	clk.Ticker(frameInterval, func() {
-		now := clk.Now()
-		frame := source.NextFrame(now)
-		roiUsed := roiBelief
-		if cfg.ROIPrediction {
-			// Aim the matrix at where the viewer will be looking when this
-			// frame is displayed (one pipeline + core-path delay ahead),
-			// bounded by the predictor's reliable horizon.
-			target := now + cfg.PipelineDelay + cfg.Path.CoreBase
-			roiUsed = g.TileAt(predictor.Predict(target))
-		}
-		matrix, mode := controller.Levels(roiUsed)
-
-		rv := rgcc
-		if fbcc != nil {
-			degraded := fbcc.CheckWatchdog(now)
-			rv = fbcc.VideoRate(now, rgcc)
-			fbcc.SetVideoRate(rv)
-			if degraded && !cfg.DisableRTPLoop {
-				// Diag-staleness fallback: with the modem feed silent the
-				// Eq. 7 loop gets no updates, so the pacer follows the
-				// embedded GCC exactly as a plain WebRTC sender would,
-				// until reports resume and OnDiag re-arms the loop.
-				pacer.SetRate(gccPacingFactor * rv)
-			}
-		}
-		budget := rv / float64(cfg.Video.FPS)
-		ef := video.Encode(&frame, matrix, budget, roiUsed, mode, cfg.Video.MaxScale)
-		pacer.Enqueue(rtp.Packetize(&ef))
-		res.FramesSent++
-
-		switch {
-		case fbcc == nil:
-			// WebRTC's default: RTP sending rate tracks the video bitrate
-			// (§3.3) — the behaviour that starves the firmware buffer. The
-			// real pacer applies a modest pacing factor so a transient
-			// backlog in the video buffer can drain.
-			pacer.SetRate(gccPacingFactor * rv)
-		case cfg.DisableRTPLoop:
-			// Ablation: strictly match Rrtp to Rv as §3.3 describes —
-			// no sweet-spot steering, no pacing headroom.
-			pacer.SetRate(rv)
-		}
-
-		if now >= cfg.StatsWarmup {
-			res.VideoRate = append(res.VideoRate, metrics.TimedSample{At: now, V: rv})
-			res.RTPRate = append(res.RTPRate, metrics.TimedSample{At: now, V: pacer.Rate()})
-			res.Modes = append(res.Modes, metrics.TimedSample{At: now, V: float64(mode)})
-		}
-	})
+	clk.Ticker(frameInterval, s.senderFrame)
 
 	// --- Viewer feedback loop (same cadence as frames, §5) --------------
 	clk.Ticker(frameInterval, func() {
 		now := clk.Now()
-		actual := user.At(now)
+		actual := s.user.At(now)
 		fb := feedback{
 			roi:         g.TileAt(actual),
 			orientation: actual,
-			m:           lastM,
-			rgcc:        gccRx.Update(now),
+			m:           s.lastM,
+			rgcc:        s.gccRx.Update(now),
 			sentAt:      now,
 		}
 		if now >= cfg.StatsWarmup {
@@ -573,38 +566,148 @@ func Run(cfg Config) (*Result, error) {
 	// mixture.
 	clk.Ticker(time.Second, func() {
 		if clk.Now() >= cfg.StatsWarmup {
-			res.Throughput = append(res.Throughput, secondBits)
+			res.Throughput = append(res.Throughput, s.secondBits)
 		}
-		secondBits = 0
+		s.secondBits = 0
 	})
 
 	// Snapshot cumulative counters at the warmup boundary so loss/delivery
 	// statistics cover the same steady-state window as everything else.
-	var lostAtWarmup, sentAtWarmup, deliveredAtWarmup int
 	clk.Schedule(cfg.StatsWarmup, func() {
-		lostAtWarmup = int(reasm.Lost())
-		deliveredAtWarmup = int(reasm.Completed())
-		sentAtWarmup = res.FramesSent
+		s.lostAtWarmup = int(s.reasm.Lost())
+		s.deliveredAtWarmup = int(s.reasm.Completed())
+		s.sentAtWarmup = res.FramesSent
 	})
+	return nil
+}
 
+// senderFrame runs once per frame interval: capture, compress around the
+// current ROI belief, encode against the rate controller's budget, and
+// hand the packets to the pacer.
+func (s *Session) senderFrame() {
+	cfg := s.cfg
+	now := s.clk.Now()
+	frame := s.source.NextFrame(now)
+	roiUsed := s.roiBelief
+	if cfg.ROIPrediction {
+		// Aim the matrix at where the viewer will be looking when this
+		// frame is displayed (one pipeline + core-path delay ahead),
+		// bounded by the predictor's reliable horizon.
+		target := now + cfg.PipelineDelay + cfg.Path.CoreBase
+		roiUsed = cfg.Video.Grid.TileAt(s.predictor.Predict(target))
+	}
+	matrix, mode := s.controller.Levels(roiUsed)
+
+	rv := s.rgcc
+	if s.fbcc != nil {
+		degraded := s.fbcc.CheckWatchdog(now)
+		rv = s.fbcc.VideoRate(now, s.rgcc)
+		s.fbcc.SetVideoRate(rv)
+		if degraded && !cfg.DisableRTPLoop {
+			// Diag-staleness fallback: with the modem feed silent the
+			// Eq. 7 loop gets no updates, so the pacer follows the
+			// embedded GCC exactly as a plain WebRTC sender would,
+			// until reports resume and OnDiag re-arms the loop.
+			s.pacer.SetRate(gccPacingFactor * rv)
+		}
+	}
+	budget := rv / float64(cfg.Video.FPS)
+	ef := video.Encode(&frame, matrix, budget, roiUsed, mode, cfg.Video.MaxScale)
+	s.pacer.Enqueue(rtp.Packetize(&ef))
+	s.res.FramesSent++
+
+	switch {
+	case s.fbcc == nil:
+		// WebRTC's default: RTP sending rate tracks the video bitrate
+		// (§3.3) — the behaviour that starves the firmware buffer. The
+		// real pacer applies a modest pacing factor so a transient
+		// backlog in the video buffer can drain.
+		s.pacer.SetRate(gccPacingFactor * rv)
+	case cfg.DisableRTPLoop:
+		// Ablation: strictly match Rrtp to Rv as §3.3 describes —
+		// no sweet-spot steering, no pacing headroom.
+		s.pacer.SetRate(rv)
+	}
+
+	if now >= cfg.StatsWarmup {
+		s.res.VideoRate = append(s.res.VideoRate, metrics.TimedSample{At: now, V: rv})
+		s.res.RTPRate = append(s.res.RTPRate, metrics.TimedSample{At: now, V: s.pacer.Rate()})
+		s.res.Modes = append(s.res.Modes, metrics.TimedSample{At: now, V: float64(mode)})
+	}
+}
+
+// Result finalizes and returns the session's measurements. Call it after
+// the attached clock has run to the session's Duration; it is idempotent.
+func (s *Session) Result() *Result {
+	if s.finalized {
+		return s.res
+	}
+	s.finalized = true
+	res := s.res
+	res.FramesSent -= s.sentAtWarmup
+	res.FramesDelivered = int(s.reasm.Completed()) - s.deliveredAtWarmup
+	res.FramesLost = int(s.reasm.Lost()) - s.lostAtWarmup
+	res.PacketDrops = s.pacer.Drops()
+	if s.fbcc != nil {
+		res.FBCCOveruses = s.fbcc.Overuses()
+		res.FBCCDegradations = s.fbcc.Degradations()
+	}
+	if ds, ok := s.transport.(interface{ DiagStalled() int64 }); ok {
+		res.DiagStalled = ds.DiagStalled()
+	}
+	return res
+}
+
+// Run executes a session to completion and returns its measurements. It
+// is the single-user convenience wrapper over the Session component: it
+// builds a private clock and a private transport (a 1-UE cell for
+// Cellular, the campus queue for Wireline), attaches, and runs — so
+// existing callers see one function while multi-user scenarios attach
+// Sessions to a shared clock and cell via RunShared.
+//
+// Run is safe for concurrent use: every run builds its own simulation
+// clock, RNGs, transports, and controllers from cfg and shares nothing
+// with other runs (the parallel experiment engine relies on this). For a
+// given cfg — including Seed — the returned Result is deeply identical
+// across runs. Callers supplying a FrameHook that touches shared state
+// must synchronize it themselves when running sessions concurrently.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = s.cfg
+	clk := simclock.New()
+
+	var transport netsim.Transport
+	if cfg.Network == Cellular {
+		lcfg := lte.DefaultConfig(cfg.Cell)
+		lcfg.Profile.Seed = DeriveStream(cfg.Seed, "lte")
+		if !cfg.Faults.Empty() {
+			// The script is an immutable value; its query methods are pure
+			// functions of the instant, so these hooks keep the uplink
+			// deterministic.
+			lcfg.CapacityFault = cfg.Faults.CapacityFactor
+			lcfg.DiagFault = cfg.Faults.DiagStalled
+		}
+		cell, err := netsim.NewCellular(clk, lcfg, cfg.Path, s.DeliverForward, s.DeliverFeedback)
+		if err != nil {
+			return nil, err
+		}
+		transport = cell
+	} else {
+		transport = netsim.NewWireline(clk, DeriveStream(cfg.Seed, "path"), cfg.Path, s.DeliverForward, s.DeliverFeedback)
+	}
+
+	if err := s.Attach(clk, transport); err != nil {
+		return nil, err
+	}
 	clk.Run(cfg.Duration)
-
-	res.FramesSent -= sentAtWarmup
-	res.FramesDelivered = int(reasm.Completed()) - deliveredAtWarmup
-	res.FramesLost = int(reasm.Lost()) - lostAtWarmup
-	res.PacketDrops = pacer.Drops()
-	if fbcc != nil {
-		res.FBCCOveruses = fbcc.Overuses()
-		res.FBCCDegradations = fbcc.Degradations()
-	}
-	if uplink != nil {
-		res.DiagStalled = uplink.DiagStalled()
-	}
-	return res, nil
+	return s.Result(), nil
 }
 
 func withSeed(v video.Config, seed int64) video.Config {
-	v.Seed = seed + 3
+	v.Seed = DeriveStream(seed, "video")
 	return v
 }
 

@@ -56,6 +56,23 @@ type SessionResult = session.Result
 // RunSession executes one telephony session to completion.
 func RunSession(cfg SessionConfig) (*SessionResult, error) { return session.Run(cfg) }
 
+// MultiSessionConfig describes a shared-cell scenario: N sessions whose
+// uplinks contend for one LTE cell under its proportional-fair subframe
+// scheduler (one simulation clock, one radio resource).
+type MultiSessionConfig = session.MultiConfig
+
+// RunSharedCell executes a shared-cell scenario and returns one result per
+// session, in Sessions order. It is the multi-user counterpart of
+// RunSession: contention between the sessions emerges from per-subframe
+// grant decisions instead of a background-load scalar. Deterministic for a
+// fixed config at any outer concurrency.
+func RunSharedCell(mc MultiSessionConfig) ([]*SessionResult, error) { return session.RunShared(mc) }
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) of a
+// non-negative allocation — the standard fairness measure for per-UE
+// throughput in a shared cell.
+func JainFairness(xs []float64) float64 { return metrics.JainFairness(xs) }
+
 // Network kinds.
 const (
 	Cellular = session.Cellular

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench-smoke faults-smoke multiuser-smoke ci
+.PHONY: all build test race lint fmt bench-smoke faults-smoke multiuser-smoke obs-smoke ci
 
 all: build
 
@@ -59,6 +59,30 @@ multiuser-smoke:
 		./internal/metrics ./internal/experiments
 	$(GO) test -bench 'SharedCellUsers' -benchtime 1x -run '^$$' .
 
+## obs-smoke: the observability subsystem under the race detector —
+## nil-probe safety, episode semantics on the busy cell, JSONL schema,
+## and the byte-identity of instrumented experiment reports — then an
+## end-to-end CLI pass: one FBCC session on the busy cell (with a
+## capacity-step fault so congestion episodes actually fire inside 60 s),
+## checking that every -obs JSONL line parses and the episode stats are
+## non-empty. Also runs the Emit-cost benchmarks once, which fail loudly
+## if the nil-probe path ever starts allocating.
+obs-smoke:
+	$(GO) test -race -run 'Obs|Episode|JSONL|Telemetry' ./internal/obs \
+		./internal/experiments
+	$(GO) test -bench 'Obs(Disabled|Enabled)$$' -benchtime 1x -run '^$$' .
+	@out="$$(mktemp -d)"; trap 'rm -rf "$$out"' EXIT; \
+	$(GO) run ./cmd/poi360-sim -rc fbcc -cell busy -faults capacity-step \
+		-duration 60s -seed 1 -obs "$$out/events.jsonl" > "$$out/sim.txt" \
+		|| { cat "$$out/sim.txt"; exit 1; }; \
+	cat "$$out/sim.txt"; \
+	test -s "$$out/events.jsonl" || { echo "obs-smoke: empty JSONL"; exit 1; }; \
+	bad="$$(grep -cv '^{.*}$$' "$$out/events.jsonl" || true)"; \
+	[ "$$bad" = "0" ] || { echo "obs-smoke: $$bad malformed JSONL lines"; exit 1; }; \
+	grep -E 'episodes: [1-9][0-9]* congestion' "$$out/sim.txt" >/dev/null \
+		|| { echo "obs-smoke: no congestion episodes reported"; exit 1; }; \
+	echo "obs-smoke: ok"
+
 ## ci: the umbrella target the GitHub workflow fans out over.
-ci: build lint test race bench-smoke faults-smoke multiuser-smoke
+ci: build lint test race bench-smoke faults-smoke multiuser-smoke obs-smoke
 	@echo "ci: all checks passed"

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"poi360/internal/obs"
 )
 
 // benchOpts is the reduced scale used by benchmarks.
@@ -178,6 +180,74 @@ func BenchmarkAblationNoRTPLoop(b *testing.B) {
 func BenchmarkAblationHold2RTT(b *testing.B) {
 	runExperimentBench(b, "abl-hold", map[string]string{
 		"2_fr": "hold2_fr",
+	})
+}
+
+// BenchmarkObsDisabled measures the cost of an Emit call on a nil probe —
+// the price every hot path pays when observability is off. The contract is
+// ~0 ns and 0 allocs/op: a disabled bus must be free.
+func BenchmarkObsDisabled(b *testing.B) {
+	var p *obs.Probe // nil: the disabled configuration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Emit(time.Duration(i), obs.FBCCTrigger, 1, 2, 3, 0)
+	}
+}
+
+// BenchmarkObsEnabled measures a live Emit into a recording bus. The delta
+// against BenchmarkObsDisabled is the observability overhead per event;
+// EXPERIMENTS.md records the measured numbers. The bus is reset
+// periodically so the benchmark measures the append path, not unbounded
+// growth.
+func BenchmarkObsEnabled(b *testing.B) {
+	bus := obs.NewBus()
+	p := bus.Probe(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&0xFFFFF == 0xFFFFF {
+			bus.Reset()
+		}
+		p.Emit(time.Duration(i), obs.FBCCTrigger, 1, 2, 3, 0)
+	}
+}
+
+// BenchmarkObsSession measures end-to-end session cost with and without a
+// bus attached — the realistic overhead of tracing a full FBCC run on the
+// busy cell.
+func BenchmarkObsSession(b *testing.B) {
+	base := func() SessionConfig {
+		return SessionConfig{
+			Duration: 30 * time.Second,
+			Network:  Cellular,
+			Cell:     CellBusy,
+			Scheme:   SchemeAdaptive,
+			RC:       RCFBCC,
+			Seed:     1,
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunSession(base()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		var events int
+		for i := 0; i < b.N; i++ {
+			bus := NewTelemetryBus()
+			cfg := base()
+			cfg.Obs = bus.Probe(0)
+			if _, err := RunSession(cfg); err != nil {
+				b.Fatal(err)
+			}
+			events = bus.Len()
+		}
+		b.ReportMetric(float64(events), "events")
 	})
 }
 

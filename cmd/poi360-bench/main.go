@@ -40,6 +40,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		verbose = flag.Bool("v", false, "print per-session progress")
 		workers = flag.Int("workers", 0, "max concurrent sessions per batch (0 = GOMAXPROCS, 1 = sequential; output is identical either way for a fixed -seed)")
+		obsOn   = flag.Bool("obs", false, "collect FBCC congestion-episode telemetry and print a per-experiment episode table (does not change any experiment output)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,11 @@ func main() {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n", e.Paper)
 		t0 := time.Now()
+		if *obsOn {
+			// Fresh aggregator per experiment: the episode table below the
+			// experiment's own output covers exactly its FBCC batches.
+			opts.Obs = poi360.NewTelemetryAgg()
+		}
 		rep, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
@@ -94,6 +100,10 @@ func main() {
 		for _, tab := range rep.Tables {
 			fmt.Println()
 			tab.Fprint(os.Stdout)
+		}
+		if opts.Obs != nil && opts.Obs.Rows() > 0 {
+			fmt.Println()
+			opts.Obs.Table().Fprint(os.Stdout)
 		}
 		if *csvDir != "" && len(rep.Series) > 0 {
 			if err := dumpSeries(*csvDir, e.ID, rep.Series); err != nil {

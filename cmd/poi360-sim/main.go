@@ -48,6 +48,7 @@ func main() {
 		faultsIn = flag.String("faults", "", "scripted disturbance scenario (see -list-faults)")
 		listF    = flag.Bool("list-faults", false, "list fault scenarios and exit")
 		noWD     = flag.Bool("no-watchdog", false, "disable FBCC's diag-staleness watchdog (paper prototype behaviour)")
+		obsOut   = flag.String("obs", "", "write telemetry events (JSONL) to this file; also prints the registry and FBCC episode stats")
 	)
 	flag.Parse()
 
@@ -126,6 +127,14 @@ func main() {
 		cfg.FBCCWatchdogReports = -1
 	}
 
+	var bus *poi360.TelemetryBus
+	if *obsOut != "" {
+		if *runs > 1 {
+			fatal("-obs and -runs are mutually exclusive (one trace file, one run)")
+		}
+		bus = poi360.NewTelemetryBus()
+	}
+
 	if *users > 1 {
 		if *runs > 1 {
 			fatal("-users and -runs are mutually exclusive")
@@ -133,8 +142,13 @@ func main() {
 		if cfg.Network != poi360.Cellular {
 			fatal("-users needs the cellular network (a shared LTE cell)")
 		}
-		if err := runSharedCell(cfg, *users); err != nil {
+		if err := runSharedCell(cfg, *users, bus); err != nil {
 			fatal("%v", err)
+		}
+		if bus != nil {
+			if err := dumpObs(bus, *obsOut, cfg.RC == poi360.RCFBCC); err != nil {
+				fatal("%v", err)
+			}
 		}
 		return
 	}
@@ -146,6 +160,9 @@ func main() {
 		return
 	}
 
+	if bus != nil {
+		cfg.Obs = bus.Probe(0)
+	}
 	res, err := poi360.RunSession(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -171,6 +188,39 @@ func main() {
 		fmt.Printf("  MOS     : bad %.1f%%, poor %.1f%%, fair %.1f%%, good %.1f%%, excellent %.1f%%\n",
 			100*pdf[0], 100*pdf[1], 100*pdf[2], 100*pdf[3], 100*pdf[4])
 	}
+	if bus != nil {
+		if err := dumpObs(bus, *obsOut, res.Config.RC == poi360.RCFBCC); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// dumpObs writes the bus's event stream as JSONL and prints the metric
+// registry plus, for FBCC sessions, the reconstructed congestion-episode
+// statistics.
+func dumpObs(bus *poi360.TelemetryBus, path string, fbcc bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := poi360.WriteTelemetryJSONL(f, bus.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  obs     : %d events -> %s\n", bus.Len(), path)
+	fmt.Print(bus.Table())
+	if fbcc {
+		eps := poi360.CongestionEpisodes(bus.Events())
+		st := poi360.SummarizeCongestionEpisodes(eps)
+		fmt.Printf("  episodes: %d congestion episodes (%d triggers), mean %.0f ms, max %.0f ms, mean hold %.0f ms, %d aborted, %d open\n",
+			st.Count, st.Triggers,
+			1e3*st.MeanDuration.Seconds(), 1e3*st.MaxDuration.Seconds(), 1e3*st.MeanHeld.Seconds(),
+			st.Aborted, st.Incomplete)
+	}
+	return nil
 }
 
 // runMany repeats the session n times under collision-free derived seeds,
@@ -242,13 +292,14 @@ func runMany(base poi360.SessionConfig, n, workers int, mosOut bool) error {
 // fair grants. User profiles cycle through the five paper participants and
 // per-user seeds derive from -seed inside the scenario, so the printout is
 // a pure function of the flags.
-func runSharedCell(base poi360.SessionConfig, n int) error {
+func runSharedCell(base poi360.SessionConfig, n int, bus *poi360.TelemetryBus) error {
 	mc := poi360.MultiSessionConfig{
 		Duration: base.Duration,
 		Cell:     base.Cell,
 		Path:     base.Path,
 		Seed:     base.Seed,
 		Faults:   base.Faults, // capacity events hit the shared cell
+		Obs:      bus,         // session i emits on sub-stream i, cell faults on -1
 	}
 	for i := 0; i < n; i++ {
 		cfg := base

@@ -3,10 +3,18 @@
 // pacing rate Rrtp, firmware-buffer level, granted TBS rate, per-frame
 // delay and ROI PSNR, the mismatch time M, and the adaptive mode index.
 //
+// With -events it instead streams the session's telemetry bus as JSONL
+// (one typed, sim-clock-stamped event per line — frame encodes, FBCC
+// triggers/pins/releases, LTE grants, queue drops, fault windows), the same
+// format poi360-sim -obs writes to a file.
+//
 // Usage:
 //
 //	poi360-trace -rc fbcc -cell campus > trace.csv
-//	poi360-trace -series diag          # only the modem diagnostics
+//	poi360-trace -series diag                    # only the modem diagnostics
+//	poi360-trace -rc fbcc -faults handover       # trace a disturbed session
+//	poi360-trace -users 3 -session 1             # user 1 of a 3-user shared cell
+//	poi360-trace -rc fbcc -events > events.jsonl # telemetry events as JSONL
 package main
 
 import (
@@ -28,6 +36,10 @@ func main() {
 		user     = flag.String("user", "typical", "user profile")
 		seed     = flag.Int64("seed", 1, "random seed")
 		series   = flag.String("series", "rates", "which series: rates, frames, diag, mismatch")
+		faultsIn = flag.String("faults", "", "scripted disturbance scenario (poi360-sim -list-faults)")
+		users    = flag.Int("users", 1, "contend N sessions in ONE shared cell; -session picks whose series to dump")
+		sessIdx  = flag.Int("session", 0, "which shared-cell session's series to dump (with -users)")
+		events   = flag.Bool("events", false, "dump telemetry events as JSONL instead of a CSV series")
 	)
 	flag.Parse()
 
@@ -60,9 +72,63 @@ func main() {
 	}
 	cfg.User = u
 
-	res, err := poi360.RunSession(cfg)
-	if err != nil {
-		fatal("%v", err)
+	if *faultsIn != "" {
+		script, err := poi360.MakeFaultScenario(*faultsIn, *duration)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.Faults = script
+	}
+
+	var bus *poi360.TelemetryBus
+	if *events {
+		bus = poi360.NewTelemetryBus()
+	}
+
+	var res *poi360.SessionResult
+	if *users > 1 {
+		if *sessIdx < 0 || *sessIdx >= *users {
+			fatal("-session %d outside [0, %d)", *sessIdx, *users)
+		}
+		mc := poi360.MultiSessionConfig{
+			Duration: cfg.Duration,
+			Cell:     cfg.Cell,
+			Seed:     cfg.Seed,
+			Faults:   cfg.Faults, // capacity events hit the shared cell
+			Obs:      bus,
+		}
+		for i := 0; i < *users; i++ {
+			sc := cfg
+			sc.Seed = 0 // derived per user inside RunSharedCell
+			sc.User = poi360.Users[i%len(poi360.Users)]
+			mc.Sessions = append(mc.Sessions, sc)
+		}
+		results, err := poi360.RunSharedCell(mc)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res = results[*sessIdx]
+	} else {
+		if *sessIdx != 0 {
+			fatal("-session needs -users > 1")
+		}
+		if bus != nil {
+			cfg.Obs = bus.Probe(0)
+		}
+		res, err = poi360.RunSession(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	if *events {
+		// JSONL event stream: every sub-stream of the bus, in emission
+		// order (for -users > 1 the "sub" field is the session index,
+		// -1 for cell-level fault markers).
+		if err := poi360.WriteTelemetryJSONL(os.Stdout, bus.Events()); err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	w := csv.NewWriter(os.Stdout)

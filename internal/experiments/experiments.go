@@ -19,7 +19,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"poi360/internal/lte"
 	"poi360/internal/metrics"
+	"poi360/internal/obs"
 	"poi360/internal/session"
 	"poi360/internal/trace"
 )
@@ -48,6 +50,14 @@ type Options struct {
 	// sessions are independent simulations and results are folded back in
 	// (user, repeat) order.
 	Workers int
+	// Obs, when non-nil, collects per-batch FBCC congestion-episode
+	// statistics across every batch an experiment runs. Instrumentation is
+	// a side channel: each session gets a private bus filtered to the
+	// fbcc.* event kinds, episodes are reconstructed after the
+	// deterministic fold, and nothing reaches Report — so enabling Obs
+	// cannot change a single byte of experiment output (probes observe,
+	// never steer; see internal/obs).
+	Obs *obs.ExperimentAgg
 }
 
 func (o Options) sessionTime() time.Duration {
@@ -251,7 +261,34 @@ func (p *progressBuffer) emit(i int, line string) {
 type batchSlot struct {
 	res *session.Result
 	err error
+	// eps are the session's FBCC congestion episodes, reconstructed from a
+	// private per-session telemetry bus when Options.Obs is set.
+	eps []obs.Episode
 }
+
+// batchLabel names a batch for the experiment-level episode table: the
+// scheme/controller/network triple plus whatever distinguishes the cell and
+// script from the defaults.
+func batchLabel(base session.Config) string {
+	l := fmt.Sprintf("%s/%s/%s", base.Scheme, base.RC, base.Network)
+	if base.Network == session.Cellular && base.Cell != (lte.CellProfile{}) {
+		l += fmt.Sprintf(" rss=%g load=%g", base.Cell.RSSdBm, base.Cell.BackgroundLoad)
+		if base.Cell.SpeedMph > 0 {
+			l += fmt.Sprintf(" mph=%g", base.Cell.SpeedMph)
+		}
+	}
+	if !base.Faults.Empty() {
+		l += " +faults"
+	}
+	if base.FBCCWatchdogReports < 0 {
+		l += " -wd"
+	}
+	return l
+}
+
+// fbccKinds filters a per-session bus down to the episode analyzer's inputs
+// so instrumented batches retain O(episodes), not O(frames), memory.
+var fbccKinds = []obs.Kind{obs.FBCCTrigger, obs.FBCCPin, obs.FBCCRelease, obs.FBCCWatchdog}
 
 // runBatch runs the users × repeats session grid derived from base (Seed
 // and User varied per cell) and aggregates the results.
@@ -282,6 +319,13 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 		cfg := base
 		cfg.User = userProfile(u)
 		cfg.Seed = session.DeriveSeed(o.Seed, u, r)
+		var bus *obs.Bus
+		if o.Obs != nil && cfg.RC == session.RCFBCC {
+			// Private per-session bus (no cross-worker sharing), filtered
+			// to the fbcc.* kinds the episode analyzer consumes.
+			bus = obs.NewBus(fbccKinds...)
+			cfg.Obs = bus.Probe(int32(i))
+		}
 		res, err := session.Run(cfg)
 		if err != nil {
 			slots[i].err = fmt.Errorf("session (user=%d, repeat=%d): %w", u, r, err)
@@ -289,6 +333,9 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 			return slots[i].err
 		}
 		slots[i].res = res
+		if bus != nil {
+			slots[i].eps = obs.Episodes(bus.Events())
+		}
 		if progress != nil {
 			progress.emit(i, fmt.Sprintf("  %s/%s user=%s rep=%d: PSNR %.1f dB, FR %.2f%%\n",
 				cfg.Scheme, cfg.Network, cfg.User.Name, r,
@@ -342,6 +389,15 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 	agg := &sessionAgg{}
 	for i := range slots {
 		agg.fold(slots[i].res)
+	}
+	if o.Obs != nil && base.RC == session.RCFBCC {
+		// Episodes are folded in grid order (like everything else), so the
+		// experiment-level table is byte-identical at any worker count.
+		var eps []obs.Episode
+		for i := range slots {
+			eps = append(eps, slots[i].eps...)
+		}
+		o.Obs.AddBatch(batchLabel(base), n, eps)
 	}
 	return agg, nil
 }

@@ -23,6 +23,9 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"poi360/internal/obs"
+	"poi360/internal/simclock"
 )
 
 // Kind enumerates the disturbance types a Script can inject.
@@ -214,6 +217,27 @@ func (s Script) FeedbackFate(now time.Duration) (drop, dup bool, extra time.Dura
 		}
 	}
 	return drop, dup, extra
+}
+
+// Announce schedules telemetry markers for every disturbance window on
+// clk: a fault.on event at each window's From and a fault.off at its
+// Until (matching the half-open [From, Until) activation). The callbacks
+// only emit onto the probe — they read no simulation state and mutate
+// none — so announcing a script cannot change a session's trajectory;
+// with a nil probe nothing is scheduled at all.
+func (s Script) Announce(clk *simclock.Clock, p *obs.Probe) {
+	if p == nil {
+		return
+	}
+	for _, e := range s.Events {
+		e := e
+		clk.Schedule(e.From, func() {
+			p.Emit(e.From, obs.FaultOn, float64(e.Kind), e.capacityFactor(), e.Extra.Seconds(), 0)
+		})
+		clk.Schedule(e.Until, func() {
+			p.Emit(e.Until, obs.FaultOff, float64(e.Kind), 0, 0, 0)
+		})
+	}
 }
 
 // Merge concatenates scripts into one, sorted by (From, Kind) so the

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"poi360/internal/obs"
 	"poi360/internal/simclock"
 )
 
@@ -343,7 +344,15 @@ type UE struct {
 
 	// Running statistics.
 	totalServedBits float64
+
+	// probe, when non-nil, receives this UE's telemetry (lte.grant,
+	// lte.diag, lte.drop). Probes only observe (internal/obs).
+	probe *obs.Probe
 }
+
+// SetProbe installs this UE's telemetry probe (nil disables). The
+// transport layer wires it when a session enables observability.
+func (u *UE) SetProbe(p *obs.Probe) { u.probe = p }
 
 // ID reports the UE's index within its cell (admission order).
 func (u *UE) ID() int { return u.id }
@@ -358,6 +367,7 @@ func (u *UE) SetDiagListener(fn func(DiagReport)) { u.onDiag = fn }
 func (u *UE) Enqueue(p Packet) bool {
 	if u.bufBytes+p.Bytes > u.cfg.BufferCapBytes {
 		u.dropped++
+		u.probe.Emit(u.cell.clk.Now(), obs.LTEDrop, float64(p.Bytes), float64(u.bufBytes), 0, 0)
 		return false
 	}
 	p.Enq = u.cell.clk.Now()
@@ -415,6 +425,10 @@ func (u *UE) serve(tbsBits float64) float64 {
 	u.diagTBS += served
 	u.totalServedBits += served
 	u.bufBytes -= bytes
+	// Telemetry: one event per actual grant service — served bits, the
+	// buffer left behind, and the PF metric that won the subframe (0 under
+	// the legacy single-UE stochastic discipline).
+	u.probe.Emit(u.cell.clk.Now(), obs.LTEGrant, served, float64(u.bufBytes), u.pfMetric, 0)
 	for bytes > 0 && len(u.queue) > 0 {
 		head := &u.queue[0]
 		remaining := head.Bytes - u.headServed
@@ -450,7 +464,15 @@ func (u *UE) emitDiag() {
 	}
 	u.diagTBS = 0
 	u.diagSubframes = 0
-	if u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At) {
+	stalled := u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At)
+	if u.probe != nil {
+		flag := 0.0
+		if stalled {
+			flag = 1
+		}
+		u.probe.Emit(rep.At, obs.LTEDiag, float64(rep.BufferBytes), rep.SumTBSBits, float64(rep.Subframes), flag)
+	}
+	if stalled {
 		u.diagStalled++
 		return
 	}

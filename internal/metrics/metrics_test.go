@@ -256,3 +256,89 @@ func TestJainFairness(t *testing.T) {
 		t.Fatal("scale dependence")
 	}
 }
+
+// TestPercentileEdgeCases pins the boundary behaviour: empty input is NaN
+// (there is no sample to report), a single sample answers every quantile,
+// all-equal samples collapse to that value, and p outside [0,1] clamps to
+// the extremes.
+func TestPercentileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatalf("Percentile(nil) = %g, want NaN", Percentile(nil, 0.5))
+	}
+	one := []float64{7}
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := Percentile(one, p); got != 7 {
+			t.Fatalf("single sample: Percentile(p=%g) = %g, want 7", p, got)
+		}
+	}
+	eq := []float64{3, 3, 3, 3}
+	for _, p := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := Percentile(eq, p); got != 3 {
+			t.Fatalf("all-equal: Percentile(p=%g) = %g, want 3", p, got)
+		}
+	}
+	s := []float64{1, 2, 3}
+	if got := Percentile(s, -0.5); got != 1 {
+		t.Fatalf("p<0 must clamp to min, got %g", got)
+	}
+	if got := Percentile(s, 1.5); got != 3 {
+		t.Fatalf("p>1 must clamp to max, got %g", got)
+	}
+}
+
+// TestSummarizeEdgeCases: the empty summary is all-zero (N included), a
+// single sample has zero spread, and all-equal samples have zero std with
+// every percentile at the value.
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty Summarize = %+v, want zero", s)
+	}
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Std != 0 || s.Min != 5 || s.Max != 5 || s.Median != 5 || s.P99 != 5 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+	s = Summarize([]float64{2, 2, 2, 2, 2})
+	if s.N != 5 || s.Std != 0 || s.P10 != 2 || s.P90 != 2 || s.Min != 2 || s.Max != 2 {
+		t.Fatalf("all-equal summary wrong: %+v", s)
+	}
+	// Summarize must not mutate its input.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Summarize reordered its input: %v", in)
+	}
+}
+
+// TestWindowStdEdgeCases: empty and single-sample inputs, and a window
+// larger than the whole span (every prefix is the window).
+func TestWindowStdEdgeCases(t *testing.T) {
+	if got := WindowStd(nil, time.Second); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+	one := []TimedSample{{At: 0, V: 4}}
+	if got := WindowStd(one, time.Second); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single sample: %v", got)
+	}
+	// Window wider than the span: sample i sees samples [0, i]; the last
+	// value must equal the full-population std.
+	samples := []TimedSample{
+		{At: 0, V: 1}, {At: time.Second, V: 2},
+		{At: 2 * time.Second, V: 3}, {At: 3 * time.Second, V: 4},
+	}
+	got := WindowStd(samples, time.Hour)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != 0 {
+		t.Fatalf("first window must be a single sample: %g", got[0])
+	}
+	want := Summarize([]float64{1, 2, 3, 4}).Std
+	if math.Abs(got[3]-want) > 1e-12 {
+		t.Fatalf("wide window: got %g, want full-population std %g", got[3], want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("prefix std of an increasing ramp must not shrink: %v", got)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"poi360/internal/lte"
+	"poi360/internal/obs"
 	"poi360/internal/seeds"
 	"poi360/internal/simclock"
 )
@@ -38,7 +39,13 @@ type DelayLink struct {
 	fault   LinkFault
 	dropped int64 // messages removed by the fault hook
 	duped   int64 // extra copies injected by the fault hook
+
+	// probe, when non-nil, receives net.fault.* telemetry (internal/obs).
+	probe *obs.Probe
 }
+
+// SetProbe installs the link's telemetry probe (nil disables).
+func (l *DelayLink) SetProbe(p *obs.Probe) { l.probe = p }
 
 // NewDelayLink creates a link with the given delay distribution; deliver is
 // invoked on the simulation goroutine when a message arrives.
@@ -73,11 +80,16 @@ func (l *DelayLink) Send(payload any) {
 		drop, dup, ex := l.fault(l.clk.Now())
 		if drop {
 			l.dropped++
+			l.probe.Emit(l.clk.Now(), obs.NetFaultDrop, 0, 0, 0, 0)
 			return
 		}
 		if dup {
 			copies = 2
 			l.duped++
+			l.probe.Emit(l.clk.Now(), obs.NetFaultDup, 0, 0, 0, 0)
+		}
+		if ex > 0 {
+			l.probe.Emit(l.clk.Now(), obs.NetFaultDelay, ex.Seconds(), 0, 0, 0)
 		}
 		extra = ex
 	}
@@ -108,7 +120,13 @@ type Queue struct {
 	busyUntil time.Duration
 	bytes     int
 	dropped   int64
+
+	// probe, when non-nil, receives net.queue.drop telemetry.
+	probe *obs.Probe
 }
+
+// SetProbe installs the queue's telemetry probe (nil disables).
+func (q *Queue) SetProbe(p *obs.Probe) { q.probe = p }
 
 // NewQueue creates a bottleneck of rateBps with capBytes of buffering.
 func NewQueue(clk *simclock.Clock, rateBps float64, capBytes int, deliver func(any)) *Queue {
@@ -123,6 +141,7 @@ func NewQueue(clk *simclock.Clock, rateBps float64, capBytes int, deliver func(a
 func (q *Queue) Send(bytes int, payload any) bool {
 	if q.bytes+bytes > q.capBytes {
 		q.dropped++
+		q.probe.Emit(q.clk.Now(), obs.NetQueueDrop, float64(bytes), float64(q.bytes), 0, 0)
 		return false
 	}
 	q.bytes += bytes
@@ -348,6 +367,16 @@ func (c *Cellular) SetDiagListener(fn func(lte.DiagReport)) { c.UE.SetDiagListen
 // SetFeedbackFault implements Transport.
 func (c *Cellular) SetFeedbackFault(fn LinkFault) { c.rev.SetFault(fn) }
 
+// SetProbe threads a session's telemetry probe through this transport:
+// the UE (lte.grant / lte.diag / lte.drop) and both wide-area links
+// (net.fault.*). Sessions discover it by type assertion, so the
+// Transport interface stays unchanged; a nil probe disables everything.
+func (c *Cellular) SetProbe(p *obs.Probe) {
+	c.UE.SetProbe(p)
+	c.core.SetProbe(p)
+	c.rev.SetProbe(p)
+}
+
 // FeedbackFaultDropped reports feedback messages removed by the fault hook.
 func (c *Cellular) FeedbackFaultDropped() int64 { return c.rev.FaultDropped() }
 
@@ -436,6 +465,15 @@ func (w *Wireline) SetDiagListener(func(lte.DiagReport)) {}
 
 // SetFeedbackFault implements Transport.
 func (w *Wireline) SetFeedbackFault(fn LinkFault) { w.rev.SetFault(fn) }
+
+// SetProbe threads a session's telemetry probe through the wireline
+// transport: the access queue (net.queue.drop) and both wide-area links
+// (net.fault.*). Discovered by type assertion like Cellular's.
+func (w *Wireline) SetProbe(p *obs.Probe) {
+	w.q.SetProbe(p)
+	w.core.SetProbe(p)
+	w.rev.SetProbe(p)
+}
 
 var (
 	_ Transport = (*Cellular)(nil)

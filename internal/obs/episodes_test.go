@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkEvent is a shorthand for synthetic episode streams.
+func mkEvent(at time.Duration, k Kind, sub int32, a, b, c float64) Event {
+	return Event{At: at, Kind: k, Sub: sub, A: a, B: b, C: c}
+}
+
+// TestEpisodesBasic: trigger → pin → release reconstructs one complete
+// episode with the detector inputs and pin parameters attached.
+func TestEpisodesBasic(t *testing.T) {
+	ev := []Event{
+		mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 11),
+		mkEvent(1*time.Second, FBCCPin, 0, 2.5e6, 0.23, 0),
+		mkEvent(1230*time.Millisecond, FBCCRelease, 0, 0.23, 2.5e6, 0),
+	}
+	eps := Episodes(ev)
+	if len(eps) != 1 {
+		t.Fatalf("got %d episodes, want 1", len(eps))
+	}
+	e := eps[0]
+	if !e.Complete || e.Aborted {
+		t.Fatalf("episode state wrong: %+v", e)
+	}
+	if e.Triggers != 1 || e.BufferBytes != 15000 || e.Gamma != 9000 || e.Streak != 11 {
+		t.Fatalf("detector inputs lost: %+v", e)
+	}
+	if e.RphyBps != 2.5e6 || e.HoldS != 0.23 {
+		t.Fatalf("pin parameters lost: %+v", e)
+	}
+	if e.Duration() != 230*time.Millisecond || e.Held() != 230*time.Millisecond {
+		t.Fatalf("duration/held wrong: %v / %v", e.Duration(), e.Held())
+	}
+}
+
+// TestEpisodesRetrigger: a trigger inside the latched hold extends the open
+// episode instead of opening a new one, and Held runs from the last trigger.
+func TestEpisodesRetrigger(t *testing.T) {
+	ev := []Event{
+		mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+		mkEvent(1*time.Second, FBCCPin, 0, 2e6, 0.23, 0),
+		mkEvent(1100*time.Millisecond, FBCCTrigger, 0, 18000, 9100, 10),
+		mkEvent(1100*time.Millisecond, FBCCPin, 0, 1.8e6, 0.23, 0),
+		mkEvent(1330*time.Millisecond, FBCCRelease, 0, 0.23, 1.8e6, 0),
+	}
+	eps := Episodes(ev)
+	if len(eps) != 1 {
+		t.Fatalf("retrigger split the episode: %d", len(eps))
+	}
+	e := eps[0]
+	if e.Triggers != 2 {
+		t.Fatalf("Triggers = %d, want 2", e.Triggers)
+	}
+	if e.TriggerAt != 1*time.Second || e.LastTriggerAt != 1100*time.Millisecond {
+		t.Fatalf("trigger anchors wrong: %+v", e)
+	}
+	if e.RphyBps != 1.8e6 {
+		t.Fatalf("pin must track the last pin: %g", e.RphyBps)
+	}
+	if e.Duration() != 330*time.Millisecond || e.Held() != 230*time.Millisecond {
+		t.Fatalf("duration/held wrong: %v / %v", e.Duration(), e.Held())
+	}
+}
+
+// TestEpisodesWatchdogAbort: the watchdog closes an open episode and marks
+// it aborted; an episode still open at stream end stays incomplete.
+func TestEpisodesWatchdogAbort(t *testing.T) {
+	ev := []Event{
+		mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+		mkEvent(1500*time.Millisecond, FBCCWatchdog, 0, 0.25, 0, 0),
+		mkEvent(5*time.Second, FBCCTrigger, 0, 20000, 9500, 12),
+	}
+	eps := Episodes(ev)
+	if len(eps) != 2 {
+		t.Fatalf("got %d episodes, want 2", len(eps))
+	}
+	if !eps[0].Complete || !eps[0].Aborted {
+		t.Fatalf("watchdog must close+abort: %+v", eps[0])
+	}
+	if eps[1].Complete {
+		t.Fatalf("open episode must stay incomplete: %+v", eps[1])
+	}
+	if eps[1].Duration() != 0 || eps[1].Held() != 0 {
+		t.Fatalf("incomplete episodes have no duration")
+	}
+}
+
+// TestEpisodesPerSub: sub-streams reconstruct independently (shared-cell
+// scenarios interleave several sessions on one bus).
+func TestEpisodesPerSub(t *testing.T) {
+	ev := []Event{
+		mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+		mkEvent(1100*time.Millisecond, FBCCTrigger, 1, 12000, 8000, 10),
+		mkEvent(1230*time.Millisecond, FBCCRelease, 0, 0.23, 2e6, 0),
+		mkEvent(1330*time.Millisecond, FBCCRelease, 1, 0.23, 1e6, 0),
+	}
+	eps := Episodes(ev)
+	if len(eps) != 2 {
+		t.Fatalf("got %d episodes, want 2", len(eps))
+	}
+	if eps[0].Sub != 0 || eps[1].Sub != 1 {
+		t.Fatalf("sub attribution wrong: %+v", eps)
+	}
+	for _, e := range eps {
+		if !e.Complete || e.Held() != 230*time.Millisecond {
+			t.Fatalf("per-sub reconstruction broke: %+v", e)
+		}
+	}
+	// A release with no open episode on its sub is ignored.
+	orphan := Episodes([]Event{mkEvent(time.Second, FBCCRelease, 4, 0, 0, 0)})
+	if len(orphan) != 0 {
+		t.Fatalf("orphan release created an episode")
+	}
+}
+
+// TestSummarizeEpisodes: counts, means, the aborted/held split, and the
+// release→next-trigger recovery gap.
+func TestSummarizeEpisodes(t *testing.T) {
+	if st := SummarizeEpisodes(nil); st.Count != 0 || st.MeanDuration != 0 {
+		t.Fatalf("empty summary not zero: %+v", st)
+	}
+	ev := []Event{
+		mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+		mkEvent(1230*time.Millisecond, FBCCRelease, 0, 0, 0, 0),
+		// 770 ms recovery, then a watchdog-aborted episode.
+		mkEvent(2*time.Second, FBCCTrigger, 0, 16000, 9000, 10),
+		mkEvent(2500*time.Millisecond, FBCCWatchdog, 0, 0.25, 0, 0),
+		// Still-open episode at stream end.
+		mkEvent(4*time.Second, FBCCTrigger, 0, 17000, 9000, 10),
+	}
+	st := SummarizeEpisodes(Episodes(ev))
+	if st.Count != 3 || st.Incomplete != 1 || st.Aborted != 1 || st.Triggers != 3 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.MeanDuration != (230+500)/2*time.Millisecond {
+		t.Fatalf("MeanDuration = %v", st.MeanDuration)
+	}
+	if st.MaxDuration != 500*time.Millisecond {
+		t.Fatalf("MaxDuration = %v", st.MaxDuration)
+	}
+	// MeanHeld covers only cleanly released episodes.
+	if st.MeanHeld != 230*time.Millisecond {
+		t.Fatalf("MeanHeld = %v", st.MeanHeld)
+	}
+	if st.Recoveries != 2 || st.MeanRecovery != (770+1500)/2*time.Millisecond {
+		t.Fatalf("recovery stats wrong: %+v", st)
+	}
+}
+
+// TestExperimentAggTable: one labeled row per batch, rendered in AddBatch
+// order.
+func TestExperimentAggTable(t *testing.T) {
+	agg := NewExperimentAgg()
+	if agg.Rows() != 0 {
+		t.Fatalf("fresh agg has rows")
+	}
+	eps := Episodes([]Event{
+		mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+		mkEvent(1230*time.Millisecond, FBCCRelease, 0, 0, 0, 0),
+	})
+	agg.AddBatch("campus/fbcc", 4, eps)
+	agg.AddBatch("busy/fbcc", 4, nil)
+	if agg.Rows() != 2 {
+		t.Fatalf("Rows = %d", agg.Rows())
+	}
+	s := agg.Table().String()
+	if !strings.Contains(s, "campus/fbcc") || !strings.Contains(s, "busy/fbcc") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+	if strings.Index(s, "campus/fbcc") > strings.Index(s, "busy/fbcc") {
+		t.Fatalf("rows out of AddBatch order:\n%s", s)
+	}
+}

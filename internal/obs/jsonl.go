@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL serializes events as JSON Lines, one object per event:
+//
+//	{"t":12.345678901,"kind":"fbcc.trigger","sub":0,"buffer_bytes":19456,"gamma_bytes":11832.5,"streak":10}
+//
+// "t" is the simulation instant in seconds, "kind" the dotted kind name,
+// "sub" the sub-stream id, and the remaining keys come from the kind's
+// field metadata (unused trailing values are omitted). Numbers use Go's
+// shortest-roundtrip float formatting, so the output is deterministic for
+// a deterministic stream.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 160)
+	for i := range events {
+		buf = appendJSON(buf[:0], &events[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendJSON appends one event's JSONL object (no trailing newline).
+func appendJSON(buf []byte, e *Event) []byte {
+	meta := &kinds[e.Kind]
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendFloat(buf, e.At.Seconds(), 'f', -1, 64)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, meta.name...)
+	buf = append(buf, `","sub":`...)
+	buf = strconv.AppendInt(buf, int64(e.Sub), 10)
+	vals := [4]float64{e.A, e.B, e.C, e.D}
+	for i, name := range meta.fields {
+		if name == "" {
+			break
+		}
+		buf = append(buf, ',', '"')
+		buf = append(buf, name...)
+		buf = append(buf, '"', ':')
+		buf = strconv.AppendFloat(buf, vals[i], 'f', -1, 64)
+	}
+	return append(buf, '}')
+}

@@ -1,0 +1,144 @@
+package obs
+
+// Kind enumerates the event taxonomy. Every kind carries up to four
+// float64 values; the kind's metadata names them (those names are the
+// JSONL keys) and optionally designates one as the histogrammed field.
+//
+// The taxonomy mirrors the layers of the simulation:
+//
+//	frame.*     session frame pipeline (encode, send, display)
+//	mode.*      adaptive-compression mode index changes
+//	feedback.*  reverse-path staleness guard
+//	fbcc.*      FBCC detector/hold lifecycle (Eqs. 3–6) + watchdog
+//	gcc.*       GCC detector verdicts and AIMD state transitions
+//	lte.*       cell grants, modem diagnostics, firmware-buffer drops
+//	net.*       core/reverse link and queue events
+//	fault.*     scripted disturbance window boundaries
+type Kind uint8
+
+// Event kinds.
+const (
+	// FrameEncode: the sender encoded one frame.
+	// A=mode index, B=encoder target rate Rv (bits/s), C=encoded bits.
+	FrameEncode Kind = iota
+	// FrameSend: the encoded frame entered the pacer.
+	// A=bits, B=RTP packet count, C=current pacing rate (bits/s).
+	FrameSend
+	// FrameDisplay: the receiver completed and displayed one frame.
+	// A=end-to-end delay (ms), B=ROI PSNR (dB), C=displayed ROI level.
+	FrameDisplay
+	// ModeSwitch: the adaptive controller changed its mode index.
+	// A=previous mode, B=new mode.
+	ModeSwitch
+	// FeedbackStale: the staleness guard discarded a feedback message.
+	// A=message age (s).
+	FeedbackStale
+	// FBCCTrigger: Eq. 3 fired (K rising reports, B > Γ).
+	// A=buffer (bytes), B=Γ (bytes), C=streak length at the trigger.
+	FBCCTrigger
+	// FBCCPin: the encoder rate pinned to the measured Rphy (Eq. 5/6).
+	// A=Rphy (bits/s), B=scheduled hold (s, the 2-RTT window).
+	FBCCPin
+	// FBCCRelease: the hold expired and the controller unlatched.
+	// A=time held since the last trigger (s), B=Rphy that was held (bits/s).
+	FBCCRelease
+	// FBCCWatchdog: the diag-staleness watchdog degraded FBCC to GCC.
+	// A=diag silence at the trip (s).
+	FBCCWatchdog
+	// GCCState: the AIMD state machine changed state.
+	// A=state (0 increase, 1 hold, 2 decrease), B=target rate (bits/s).
+	GCCState
+	// GCCUsage: the delay-gradient detector changed its verdict.
+	// A=usage (0 normal, 1 overuse, 2 underuse), B=slope (ms/s),
+	// C=adaptive threshold (ms/s).
+	GCCUsage
+	// LTEGrant: the cell served bits from a UE's firmware buffer.
+	// A=served bits, B=buffer after service (bytes), C=PF metric
+	// (0 under the legacy single-UE discipline).
+	LTEGrant
+	// LTEDiag: the modem emitted (or a fault suppressed) a diag report.
+	// A=buffer (bytes), B=ΣTBS (bits), C=subframes covered,
+	// D=1 when a scripted DiagStall suppressed the report.
+	LTEDiag
+	// LTEDrop: the firmware buffer rejected a packet at its cap.
+	// A=packet bytes, B=buffer occupancy (bytes).
+	LTEDrop
+	// NetQueueDrop: a droptail queue rejected a message.
+	// A=message bytes, B=queue occupancy (bytes).
+	NetQueueDrop
+	// NetFaultDrop: a scripted link fault removed a message.
+	NetFaultDrop
+	// NetFaultDup: a scripted link fault duplicated a message.
+	NetFaultDup
+	// NetFaultDelay: a scripted link fault added delay to a message.
+	// A=extra one-way delay (s).
+	NetFaultDelay
+	// FaultOn: a scripted disturbance window opened.
+	// A=fault kind (faults.Kind), B=capacity factor, C=extra delay (s).
+	FaultOn
+	// FaultOff: a scripted disturbance window closed.
+	// A=fault kind (faults.Kind).
+	FaultOff
+
+	// NumKinds bounds the kind space (not a kind).
+	NumKinds
+)
+
+// kindMeta describes one kind: its dotted name, the JSONL keys of its
+// A–D values ("" = unused), and which value index feeds the histogram
+// (-1 = none).
+type kindMeta struct {
+	name   string
+	fields [4]string
+	hist   int8
+}
+
+var kinds = [NumKinds]kindMeta{
+	FrameEncode:   {"frame.encode", [4]string{"mode", "rv_bps", "bits"}, -1},
+	FrameSend:     {"frame.send", [4]string{"bits", "packets", "rtp_bps"}, -1},
+	FrameDisplay:  {"frame.display", [4]string{"delay_ms", "psnr_db", "roi_level"}, 0},
+	ModeSwitch:    {"mode.switch", [4]string{"from", "to"}, -1},
+	FeedbackStale: {"feedback.stale", [4]string{"age_s"}, -1},
+	FBCCTrigger:   {"fbcc.trigger", [4]string{"buffer_bytes", "gamma_bytes", "streak"}, 0},
+	FBCCPin:       {"fbcc.pin", [4]string{"rphy_bps", "hold_s"}, 0},
+	FBCCRelease:   {"fbcc.release", [4]string{"held_s", "rphy_bps"}, 0},
+	FBCCWatchdog:  {"fbcc.watchdog", [4]string{"stale_s"}, -1},
+	GCCState:      {"gcc.state", [4]string{"state", "rate_bps"}, -1},
+	GCCUsage:      {"gcc.usage", [4]string{"usage", "slope_ms_s", "threshold_ms_s"}, -1},
+	LTEGrant:      {"lte.grant", [4]string{"tbs_bits", "buffer_bytes", "pf_metric"}, 1},
+	LTEDiag:       {"lte.diag", [4]string{"buffer_bytes", "tbs_bits", "subframes", "stalled"}, 0},
+	LTEDrop:       {"lte.drop", [4]string{"bytes", "buffer_bytes"}, -1},
+	NetQueueDrop:  {"net.queue.drop", [4]string{"bytes", "queue_bytes"}, -1},
+	NetFaultDrop:  {"net.fault.drop", [4]string{}, -1},
+	NetFaultDup:   {"net.fault.dup", [4]string{}, -1},
+	NetFaultDelay: {"net.fault.delay", [4]string{"extra_s"}, -1},
+	FaultOn:       {"fault.on", [4]string{"fault", "factor", "extra_s"}, -1},
+	FaultOff:      {"fault.off", [4]string{"fault"}, -1},
+}
+
+// String returns the kind's dotted name ("fbcc.trigger").
+func (k Kind) String() string {
+	if k >= NumKinds {
+		return "obs.Kind(?)"
+	}
+	return kinds[k].name
+}
+
+// Fields returns the JSONL keys of the kind's values (empty strings for
+// unused slots).
+func (k Kind) Fields() [4]string {
+	if k >= NumKinds {
+		return [4]string{}
+	}
+	return kinds[k].fields
+}
+
+// KindByName resolves a dotted kind name; ok is false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if kinds[k].name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

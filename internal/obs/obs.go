@@ -1,0 +1,189 @@
+// Package obs is the deterministic telemetry bus of the reproduction: a
+// typed, sim-clock-stamped event stream emitted by the hot paths (session
+// frame pipeline, FBCC/GCC rate control, the LTE cell's grant scheduler,
+// the network links, and the fault-injection scripts), with a
+// counters/histogram registry, a JSONL sink, and a congestion-episode
+// analyzer that reconstructs FBCC's trigger → pin → 2-RTT hold → release
+// cycles (Eqs. 3–6) from the stream.
+//
+// # Determinism contract
+//
+// Probes observe — they never mutate simulation state, consume randomness,
+// or alter event scheduling semantics. A session (or experiment batch) run
+// with observability enabled is trajectory-identical to the same run with
+// it disabled: every measurement, every Result field, every report byte
+// matches at any worker count. The only difference is the recorded stream.
+//
+// # Zero overhead when disabled
+//
+// Instrumentation stays permanently wired into the hot paths, so the
+// disabled path must cost nothing: every probe method is nil-safe and a
+// nil *Probe returns before touching memory. BenchmarkObsDisabled holds
+// this at 0 allocs/op.
+//
+// # Concurrency
+//
+// A Bus belongs to one simulation clock's goroutine (one session, or one
+// shared-cell scenario): all emissions happen on that goroutine, so the
+// Bus is unsynchronized by design. Parallel sessions each own a private
+// Bus; cross-session aggregation (ExperimentAgg) is synchronized.
+package obs
+
+import (
+	"time"
+
+	"poi360/internal/trace"
+)
+
+// Event is one telemetry record: a kind, the simulation instant, the
+// emitting sub-stream (session index, UE id — -1 for scenario-level
+// events), and up to four kind-specific values whose meaning (and JSONL
+// key) comes from the kind's metadata. A fixed-shape struct keeps the
+// emit path allocation-free and the stream trivially serializable.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	Sub  int32
+	A    float64
+	B    float64
+	C    float64
+	D    float64
+}
+
+// Bus collects the telemetry of one simulation: the event stream plus the
+// per-kind counters and histograms of the registry. Create with NewBus,
+// hand Probe(sub) handles to the components, read Events()/Table() after
+// the clock has run. Not safe for concurrent use (see the package doc).
+type Bus struct {
+	events []Event
+	keep   [NumKinds]bool
+	counts [NumKinds]int64
+	hists  [NumKinds]Histogram
+	gauges map[string]float64
+}
+
+// NewBus creates a bus. With no arguments every kind is recorded; with
+// arguments only the listed kinds are appended to the event stream —
+// counters and histograms still cover everything, so a filtered bus (the
+// experiment engine records only the fbcc.* kinds) keeps its memory
+// proportional to what it analyzes.
+func NewBus(only ...Kind) *Bus {
+	b := &Bus{gauges: map[string]float64{}}
+	if len(only) == 0 {
+		for k := range b.keep {
+			b.keep[k] = true
+		}
+	} else {
+		for _, k := range only {
+			b.keep[k] = true
+		}
+	}
+	return b
+}
+
+// Probe returns an emit handle bound to the given sub-stream id. Handing
+// out one probe per session (or per UE) lets a shared bus attribute every
+// event without the emitters knowing about each other.
+func (b *Bus) Probe(sub int32) *Probe {
+	if b == nil {
+		return nil
+	}
+	return &Probe{bus: b, sub: sub}
+}
+
+func (b *Bus) record(at time.Duration, k Kind, sub int32, a, v, c, d float64) {
+	b.counts[k]++
+	if h := kinds[k].hist; h >= 0 {
+		b.hists[k].Observe(field(h, a, v, c, d))
+	}
+	if b.keep[k] {
+		b.events = append(b.events, Event{At: at, Kind: k, Sub: sub, A: a, B: v, C: c, D: d})
+	}
+}
+
+func field(i int8, a, b, c, d float64) float64 {
+	switch i {
+	case 0:
+		return a
+	case 1:
+		return b
+	case 2:
+		return c
+	default:
+		return d
+	}
+}
+
+// Events returns the recorded stream in emission order (which, on a
+// discrete-event clock, is timestamp order with FIFO ties). The slice is
+// owned by the bus; callers must not mutate it.
+func (b *Bus) Events() []Event { return b.events }
+
+// Len reports how many events are currently recorded.
+func (b *Bus) Len() int { return len(b.events) }
+
+// Count reports how many events of kind k were emitted (including ones a
+// filtered bus did not record).
+func (b *Bus) Count(k Kind) int64 { return b.counts[k] }
+
+// Hist returns the histogram of kind k's designated field (zero-valued
+// for kinds without one).
+func (b *Bus) Hist(k Kind) *Histogram { return &b.hists[k] }
+
+// SetGauge records a named point-in-time value (session summaries set
+// these at finalize). Gauges render sorted by name.
+func (b *Bus) SetGauge(name string, v float64) { b.gauges[name] = v }
+
+// Reset drops the recorded event stream (counters, histograms and gauges
+// persist). Long-running consumers drain Events and Reset periodically to
+// bound memory.
+func (b *Bus) Reset() { b.events = b.events[:0] }
+
+// Table renders the registry — per-kind counts, histogram stats, gauges —
+// as a deterministic trace table (kinds in declaration order, gauges
+// sorted by name).
+func (b *Bus) Table() *trace.Table { return registryTable(b) }
+
+// Probe is a nil-safe emit handle bound to one bus and sub-stream. The
+// zero probe (nil) is the disabled state: every method returns
+// immediately, which is what keeps permanently-wired instrumentation free
+// when observability is off.
+type Probe struct {
+	bus *Bus
+	sub int32
+}
+
+// Emit records one event. Unused trailing values should be zero; their
+// JSONL keys come from the kind's metadata. Safe on a nil probe.
+func (p *Probe) Emit(at time.Duration, k Kind, a, b, c, d float64) {
+	if p == nil {
+		return
+	}
+	p.bus.record(at, k, p.sub, a, b, c, d)
+}
+
+// With derives a probe on the same bus with a different sub-stream id
+// (the cell probe derives per-UE probes this way). Safe on a nil probe,
+// returning nil.
+func (p *Probe) With(sub int32) *Probe {
+	if p == nil {
+		return nil
+	}
+	return &Probe{bus: p.bus, sub: sub}
+}
+
+// Sub reports the probe's sub-stream id (0 for a nil probe).
+func (p *Probe) Sub() int32 {
+	if p == nil {
+		return 0
+	}
+	return p.sub
+}
+
+// SetGauge forwards to the bus registry. Safe on a nil probe.
+func (p *Probe) SetGauge(name string, v float64) {
+	if p == nil {
+		return
+	}
+	p.bus.SetGauge(name, v)
+}

@@ -7,6 +7,7 @@ import (
 
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
+	"poi360/internal/obs"
 )
 
 // FBCCConfig parameterizes Firmware-Buffer-aware Congestion Control.
@@ -148,7 +149,16 @@ type FBCC struct {
 
 	// Diagnostics for traces and tests.
 	overuses int
+
+	// probe, when non-nil, receives the controller's lifecycle telemetry
+	// (fbcc.trigger / fbcc.pin / fbcc.release / fbcc.watchdog). Probes
+	// only observe; a nil probe costs nothing (internal/obs).
+	probe *obs.Probe
 }
+
+// SetProbe installs the telemetry probe (nil disables). Call before the
+// first OnDiag.
+func (f *FBCC) SetProbe(p *obs.Probe) { f.probe = p }
 
 // NewFBCC builds the controller.
 func NewFBCC(cfg FBCCConfig) (*FBCC, error) {
@@ -209,9 +219,17 @@ func (f *FBCC) OnDiag(rep lte.DiagReport) {
 		f.congestedAt = rep.At
 		f.holdUntil = rep.At + time.Duration(f.cfg.HoldRTTs*float64(f.cfg.RTT))
 		f.overuses++
+		// Telemetry: the Eq. 3 inputs (streak before its reset) and the
+		// Eq. 5/6 pin that follows.
+		f.probe.Emit(rep.At, obs.FBCCTrigger, buf, gamma, float64(f.streak), 0)
+		f.probe.Emit(rep.At, obs.FBCCPin, f.rbw, (f.holdUntil - rep.At).Seconds(), 0, 0)
 		f.streak = 0
 		f.slackUsed = 0
 	} else if rep.At >= f.holdUntil {
+		if f.congested {
+			// The latched hold expired: the encoder unpins from Rphy.
+			f.probe.Emit(rep.At, obs.FBCCRelease, (rep.At - f.congestedAt).Seconds(), f.rbw, 0, 0)
+		}
 		f.congested = false
 	}
 
@@ -298,6 +316,10 @@ func (f *FBCC) CheckWatchdog(now time.Duration) bool {
 	if !f.degraded {
 		f.degraded = true
 		f.degradations++
+		// Telemetry first: the abort must carry the silence that tripped
+		// the watchdog, and the episode analyzer reads this event as the
+		// end of any open congestion episode.
+		f.probe.Emit(now, obs.FBCCWatchdog, (now - f.lastDiagAt).Seconds(), 0, 0, 0)
 		// Unpin Eq. 6: no hold survives a dead feed.
 		f.congested = false
 		f.holdUntil = 0

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"poi360/internal/obs"
 )
 
 // GCCConfig parameterizes the delay-gradient controller.
@@ -143,7 +145,14 @@ type GCCReceiver struct {
 	usage      BandwidthUsage
 
 	seqs []seqObs // recent packet sequence numbers for loss estimation
+
+	// probe, when non-nil, receives detector-verdict (gcc.usage) and
+	// AIMD state-transition (gcc.state) telemetry (internal/obs).
+	probe *obs.Probe
 }
+
+// SetProbe installs the telemetry probe (nil disables).
+func (g *GCCReceiver) SetProbe(p *obs.Probe) { g.probe = p }
 
 // NewGCCReceiver builds a receiver-side controller.
 func NewGCCReceiver(cfg GCCConfig) (*GCCReceiver, error) {
@@ -250,6 +259,7 @@ func (g *GCCReceiver) detect(now time.Duration) {
 	g.threshold += k * (abs - g.threshold)
 	g.threshold = math.Max(70, math.Min(600, g.threshold))
 
+	prev := g.usage
 	switch {
 	case s > g.threshold:
 		if !g.inOveruse {
@@ -265,6 +275,9 @@ func (g *GCCReceiver) detect(now time.Duration) {
 	default:
 		g.inOveruse = false
 		g.usage = Normal
+	}
+	if g.usage != prev {
+		g.probe.Emit(now, obs.GCCUsage, float64(g.usage), s, g.threshold, 0)
 	}
 }
 
@@ -290,6 +303,7 @@ func (g *GCCReceiver) Update(now time.Duration) float64 {
 		elapsed = 0
 	}
 	g.lastUpdate = now
+	prevState := g.state
 
 	switch g.usage {
 	case Overuse:
@@ -341,6 +355,9 @@ func (g *GCCReceiver) Update(now time.Duration) float64 {
 	}
 
 	g.rate = math.Max(g.cfg.MinRate, math.Min(g.cfg.MaxRate, g.rate))
+	if g.state != prevState {
+		g.probe.Emit(now, obs.GCCState, float64(g.state), g.rate, 0, 0)
+	}
 	return g.rate
 }
 

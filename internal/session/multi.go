@@ -7,6 +7,7 @@ import (
 	"poi360/internal/faults"
 	"poi360/internal/lte"
 	"poi360/internal/netsim"
+	"poi360/internal/obs"
 	"poi360/internal/simclock"
 )
 
@@ -44,6 +45,13 @@ type MultiConfig struct {
 	// overridden by the scenario; a zero Seed is replaced with
 	// DeriveSeed(Seed, i, 0) so users are decorrelated by construction.
 	Sessions []Config
+
+	// Obs, when non-nil, collects telemetry for the whole scenario on one
+	// shared bus: session i emits on Obs.Probe(i) (overriding any
+	// per-session Config.Obs), and cell-level fault markers are announced
+	// on Obs.Probe(-1). Probes only observe — wiring a bus cannot change
+	// any session's trajectory (internal/obs determinism contract).
+	Obs *obs.Bus
 }
 
 // Validate reports an error for incoherent multi-user configurations.
@@ -103,6 +111,9 @@ func RunShared(mc MultiConfig) ([]*Result, error) {
 		if cfg.Seed == 0 {
 			cfg.Seed = DeriveSeed(mc.Seed, i, 0)
 		}
+		if mc.Obs != nil {
+			cfg.Obs = mc.Obs.Probe(int32(i))
+		}
 		s, err := New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("session %d: %w", i, err)
@@ -128,6 +139,13 @@ func RunShared(mc MultiConfig) ([]*Result, error) {
 		}
 	}
 	sc.Start()
+
+	// Cell-level fault windows are scenario-scoped, not per-user: announce
+	// them once on the scenario probe (sub = -1) so traces can correlate
+	// every session's reaction with the shared disturbance.
+	if mc.Obs != nil && !mc.Faults.Empty() {
+		mc.Faults.Announce(clk, mc.Obs.Probe(-1))
+	}
 
 	clk.Run(mc.Duration)
 

@@ -16,6 +16,7 @@ import (
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
 	"poi360/internal/netsim"
+	"poi360/internal/obs"
 	"poi360/internal/projection"
 	"poi360/internal/ratecontrol"
 	"poi360/internal/rtp"
@@ -158,6 +159,15 @@ type Config struct {
 	// the watchdog — the paper's prototype behaviour, which trusts the
 	// diag feed blindly.
 	FBCCWatchdogReports int
+
+	// Obs, when non-nil, threads the telemetry bus (internal/obs) through
+	// every layer of this session: frame pipeline, mode switches, FBCC and
+	// GCC lifecycle, LTE grants/diagnostics, network-link events, and the
+	// fault script's activation windows. Probes only observe — a session
+	// runs trajectory-identically with Obs set or nil, and a nil probe
+	// costs zero allocations on the emit path. For shared-cell scenarios
+	// use MultiConfig.Obs instead (per-session probes derive from one bus).
+	Obs *obs.Probe
 }
 
 // withDefaults fills a Config's zero fields with the documented defaults
@@ -362,6 +372,10 @@ type Session struct {
 	// Warmup-boundary snapshots for steady-state counters.
 	lostAtWarmup, sentAtWarmup, deliveredAtWarmup int
 
+	// Telemetry.
+	probe    *obs.Probe
+	lastMode int // previous adaptive mode index, -1 before the first frame
+
 	attached  bool
 	finalized bool
 }
@@ -419,6 +433,18 @@ func New(cfg Config) (*Session, error) {
 	s.predictor = headmotion.NewPredictor(0)
 	s.roiBelief = g.TileAt(s.user.At(0))
 	s.rgcc = gccCfg.InitialRate
+
+	// Telemetry: thread the probe through the rate controllers now; the
+	// transport and fault script are wired at Attach. A nil probe leaves
+	// every emit a no-op.
+	s.probe = cfg.Obs
+	s.lastMode = -1
+	if s.probe != nil {
+		s.gccRx.SetProbe(s.probe)
+		if s.fbcc != nil {
+			s.fbcc.SetProbe(s.probe)
+		}
+	}
 	return s, nil
 }
 
@@ -449,6 +475,7 @@ func (s *Session) DeliverFeedback(p any) {
 	// for a fresh message (the degradation the fault scripts probe).
 	if s.cfg.FeedbackStaleAfter > 0 && now-fb.sentAt > s.cfg.FeedbackStaleAfter {
 		s.res.StaleFeedback++
+		s.probe.Emit(now, obs.FeedbackStale, (now - fb.sentAt).Seconds(), 0, 0, 0)
 		return
 	}
 	if !s.cfg.Faults.ROIFrozen(now) {
@@ -480,6 +507,20 @@ func (s *Session) Attach(clk *simclock.Clock, transport netsim.Transport) error 
 		transport.SetFeedbackFault(cfg.Faults.FeedbackFate)
 	}
 
+	// Telemetry: hand the probe to the transport stack (type-asserted so
+	// the Transport interface stays unchanged — the same pattern Result
+	// uses for DiagStalled) and mark the fault script's windows. Both are
+	// pure observation: with Obs nil neither happens, and with Obs set the
+	// simulated trajectory is identical.
+	if s.probe != nil {
+		if tp, ok := transport.(interface{ SetProbe(*obs.Probe) }); ok {
+			tp.SetProbe(s.probe)
+		}
+		if !cfg.Faults.Empty() {
+			cfg.Faults.Announce(clk, s.probe)
+		}
+	}
+
 	// --- Receiver reassembly ------------------------------------------
 	s.reasm = rtp.NewReassembler(clk, func(cf rtp.CompletedFrame) {
 		now := cf.Arrived
@@ -495,6 +536,9 @@ func (s *Session) Attach(clk *simclock.Clock, transport netsim.Transport) error 
 			res.ROILevels = append(res.ROILevels, metrics.TimedSample{At: now, V: level})
 			s.secondBits += cf.Bits
 		}
+
+		s.probe.Emit(now, obs.FrameDisplay,
+			float64(delay)/float64(time.Millisecond), psnr, level, 0)
 
 		if cfg.FrameHook != nil {
 			cfg.FrameHook(cf.Frame, g.TileAt(actual), psnr)
@@ -613,8 +657,18 @@ func (s *Session) senderFrame() {
 	}
 	budget := rv / float64(cfg.Video.FPS)
 	ef := video.Encode(&frame, matrix, budget, roiUsed, mode, cfg.Video.MaxScale)
-	s.pacer.Enqueue(rtp.Packetize(&ef))
+	pkts := rtp.Packetize(&ef)
+	s.pacer.Enqueue(pkts)
 	s.res.FramesSent++
+
+	if s.probe != nil {
+		if mode != s.lastMode && s.lastMode >= 0 {
+			s.probe.Emit(now, obs.ModeSwitch, float64(s.lastMode), float64(mode), 0, 0)
+		}
+		s.probe.Emit(now, obs.FrameEncode, float64(mode), rv, ef.Bits, 0)
+		s.probe.Emit(now, obs.FrameSend, ef.Bits, float64(len(pkts)), s.pacer.Rate(), 0)
+	}
+	s.lastMode = mode
 
 	switch {
 	case s.fbcc == nil:
@@ -654,6 +708,22 @@ func (s *Session) Result() *Result {
 	}
 	if ds, ok := s.transport.(interface{ DiagStalled() int64 }); ok {
 		res.DiagStalled = ds.DiagStalled()
+	}
+	// Registry gauges: the session's headline numbers at finalize, so a
+	// bus table doubles as a one-glance session summary.
+	if s.probe != nil {
+		s.probe.SetGauge("frames_sent", float64(res.FramesSent))
+		s.probe.SetGauge("frames_delivered", float64(res.FramesDelivered))
+		s.probe.SetGauge("frames_lost", float64(res.FramesLost))
+		s.probe.SetGauge("packet_drops", float64(res.PacketDrops))
+		s.probe.SetGauge("freeze_ratio", res.FreezeRatio())
+		s.probe.SetGauge("psnr_mean_db", res.PSNRSummary().Mean)
+		s.probe.SetGauge("throughput_mean_bps", res.ThroughputSummary().Mean)
+		s.probe.SetGauge("stale_feedback", float64(res.StaleFeedback))
+		if s.fbcc != nil {
+			s.probe.SetGauge("fbcc_overuses", float64(res.FBCCOveruses))
+			s.probe.SetGauge("fbcc_degradations", float64(res.FBCCDegradations))
+		}
 	}
 	return res
 }

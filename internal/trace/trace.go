@@ -146,11 +146,17 @@ func WriteSeriesCSV(w io.Writer, series ...Series) error {
 }
 
 // F formats a float with the given precision, trimming trailing zeros.
+// Values that round to zero render as "0", never "-0": %f keeps the sign
+// of tiny negatives (and of IEEE negative zero) through rounding, and a
+// "-0" cell is table noise with no information in it.
 func F(x float64, prec int) string {
 	s := fmt.Sprintf("%.*f", prec, x)
 	if strings.Contains(s, ".") {
 		s = strings.TrimRight(s, "0")
 		s = strings.TrimRight(s, ".")
+	}
+	if s == "-0" {
+		s = "0"
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -59,6 +60,32 @@ func TestSeriesCSV(t *testing.T) {
 	}
 	if lines[2] != "3,4,," {
 		t.Fatalf("padded row = %q", lines[2])
+	}
+}
+
+// TestFNormalizesNegativeZero: values that round to zero must render "0",
+// never "-0" — %f keeps the sign of tiny negatives and of IEEE -0 through
+// rounding.
+func TestFNormalizesNegativeZero(t *testing.T) {
+	neg0 := math.Copysign(0, -1)
+	cases := []struct {
+		x    float64
+		prec int
+		want string
+	}{
+		{-0.0001, 2, "0"},    // tiny negative rounds to zero
+		{-0.0001, 0, "0"},    // no decimal point path
+		{neg0, 3, "0"},       // IEEE negative zero
+		{-0.004, 2, "0"},     // rounds to -0.00
+		{-0.006, 2, "-0.01"}, // genuinely negative survives
+		{-1.5, 2, "-1.5"},    // ordinary negatives untouched
+		{0.0001, 2, "0"},     // positive counterpart
+		{0, 4, "0"},
+	}
+	for _, c := range cases {
+		if got := F(c.x, c.prec); got != c.want {
+			t.Errorf("F(%g, %d) = %q, want %q", c.x, c.prec, got, c.want)
+		}
 	}
 }
 

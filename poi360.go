@@ -31,6 +31,7 @@ package poi360
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"poi360/internal/experiments"
@@ -39,6 +40,7 @@ import (
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
 	"poi360/internal/netsim"
+	"poi360/internal/obs"
 	"poi360/internal/projection"
 	"poi360/internal/session"
 	"poi360/internal/trace"
@@ -227,6 +229,66 @@ func RunExperiment(id string, opts ExperimentOptions) (*Report, error) {
 	}
 	return e.Run(opts)
 }
+
+// TelemetryBus is a deterministic, zero-overhead-when-disabled event bus:
+// attach one to SessionConfig.Obs (via Probe) or MultiSessionConfig.Obs and
+// every layer of the simulation — session, rate control, LTE scheduler,
+// network path, fault scripts — emits typed sim-clock-stamped events onto
+// it. Probes only observe; instrumenting a session cannot change its
+// trajectory (see internal/obs for the contract).
+type TelemetryBus = obs.Bus
+
+// TelemetryEvent is one typed, sim-clock-stamped record on a TelemetryBus.
+type TelemetryEvent = obs.Event
+
+// TelemetryProbe is a session-facing handle onto a TelemetryBus; the nil
+// probe is valid and makes every emission a no-op.
+type TelemetryProbe = obs.Probe
+
+// TelemetryKind enumerates the event taxonomy ("frame.encode",
+// "fbcc.trigger", "lte.grant", …); see internal/obs for the full table.
+type TelemetryKind = obs.Kind
+
+// NewTelemetryBus builds a bus. With no arguments every event kind is
+// recorded; with arguments only the listed kinds are kept (counters and
+// histograms always update).
+func NewTelemetryBus(only ...TelemetryKind) *TelemetryBus { return obs.NewBus(only...) }
+
+// TelemetryKindByName resolves an event name ("fbcc.trigger") to its Kind.
+func TelemetryKindByName(name string) (TelemetryKind, bool) { return obs.KindByName(name) }
+
+// WriteTelemetryJSONL streams events as one JSON object per line — the
+// poi360-sim -obs / poi360-trace -events format.
+func WriteTelemetryJSONL(w io.Writer, events []TelemetryEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
+// CongestionEpisode is one reconstructed FBCC congestion episode: Eq. 3
+// trigger through Rphy pin and 2-RTT hold to release (§4.3, Eqs. 3–6).
+type CongestionEpisode = obs.Episode
+
+// CongestionEpisodeStats summarizes a set of episodes.
+type CongestionEpisodeStats = obs.EpisodeStats
+
+// CongestionEpisodes reconstructs FBCC congestion episodes from a bus's
+// event stream.
+func CongestionEpisodes(events []TelemetryEvent) []CongestionEpisode {
+	return obs.Episodes(events)
+}
+
+// SummarizeCongestionEpisodes aggregates episode count, durations, hold
+// times and recovery gaps.
+func SummarizeCongestionEpisodes(eps []CongestionEpisode) CongestionEpisodeStats {
+	return obs.SummarizeEpisodes(eps)
+}
+
+// TelemetryAgg collects per-batch congestion-episode statistics across a
+// whole experiment run (ExperimentOptions.Obs); Table renders the
+// experiment-level episode table.
+type TelemetryAgg = obs.ExperimentAgg
+
+// NewTelemetryAgg builds an empty experiment-level episode aggregator.
+func NewTelemetryAgg() *TelemetryAgg { return obs.NewExperimentAgg() }
 
 // Version identifies this reproduction.
 const Version = "1.0.0"

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench-smoke faults-smoke multiuser-smoke obs-smoke ci
+.PHONY: all build test race lint fmt bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke bench-profile ci
 
 all: build
 
@@ -83,6 +83,24 @@ obs-smoke:
 		|| { echo "obs-smoke: no congestion episodes reported"; exit 1; }; \
 	echo "obs-smoke: ok"
 
+## perf-smoke: the hot-path allocation gates (TestPerf* across packages:
+## zero-alloc Eq. 1 matrix lookups, memoized Result summaries, the
+## end-to-end per-session allocation budget) followed by one pass of the
+## allocation-sensitive benchmarks with -benchmem, so a regression shows
+## both as a red gate and as numbers in the log.
+perf-smoke:
+	$(GO) test -run 'TestPerf' ./internal/compress ./internal/session .
+	$(GO) test -bench 'Obs|SharedCell|ModeMatrix|SessionAllocs' \
+		-benchtime 1x -benchmem -run '^$$' ./internal/compress .
+
+## bench-profile: rerun the headline session benchmark under the CPU and
+## heap profilers; profiles land in ./profiles for `go tool pprof`.
+bench-profile:
+	@mkdir -p profiles
+	$(GO) run ./cmd/poi360-bench -experiment fig16a \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
+	@echo "profiles written to ./profiles (inspect with: go tool pprof profiles/cpu.pprof)"
+
 ## ci: the umbrella target the GitHub workflow fans out over.
-ci: build lint test race bench-smoke faults-smoke multiuser-smoke obs-smoke
+ci: build lint test race bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke
 	@echo "ci: all checks passed"

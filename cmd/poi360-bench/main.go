@@ -9,6 +9,8 @@
 //	poi360-bench -workers 1              # force sequential sessions (same output)
 //	poi360-bench -csv out/               # also dump raw curves as CSV
 //	poi360-bench -list                   # list experiment IDs
+//	poi360-bench -cpuprofile cpu.pprof   # write a CPU profile of the run
+//	poi360-bench -memprofile mem.pprof   # write a heap profile at exit
 //
 // Sessions of a batch run on a bounded worker pool (default GOMAXPROCS);
 // for a fixed -seed the printed tables are byte-identical at any -workers.
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"poi360"
@@ -41,8 +45,39 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-session progress")
 		workers = flag.Int("workers", 0, "max concurrent sessions per batch (0 = GOMAXPROCS, 1 = sequential; output is identical either way for a fixed -seed)")
 		obsOn   = flag.Bool("obs", false, "collect FBCC congestion-episode telemetry and print a per-experiment episode table (does not change any experiment output)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range poi360.Experiments() {

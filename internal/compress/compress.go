@@ -42,6 +42,11 @@ const ModePlateau = 1
 // (the panorama wraps in yaw) and dy the row distance. C > 1 controls
 // aggressiveness: larger C compresses distant tiles harder. Levels are
 // bounded by LevelCap.
+//
+// ModeMatrix is the direct-computation reference: it allocates a fresh
+// matrix on every call. Hot paths use the memoized, bit-identical shared
+// views instead (FamilyFor / SharedModeMatrix in cache.go) — every
+// controller in this package already does.
 func ModeMatrix(g projection.Grid, roi projection.Tile, C float64) Matrix {
 	if C <= 1 {
 		panic(fmt.Sprintf("compress: mode constant C must exceed 1, got %g", C))
@@ -87,6 +92,9 @@ type Controller interface {
 	Name() string
 	// Levels returns the matrix for the sender's ROI belief and an opaque
 	// mode label recorded in traces (the adaptive controller's mode index).
+	// The matrix is a shared read-only view from the memoized Eq. 1 cache:
+	// callers must not mutate it, and it stays valid indefinitely (frame
+	// metadata may carry it to the receiver).
 	Levels(roi projection.Tile) (Matrix, int)
 	// ObserveMismatch feeds the latest window-averaged mismatch time M.
 	ObserveMismatch(m time.Duration)
@@ -100,6 +108,7 @@ type Controller interface {
 type Adaptive struct {
 	g       projection.Grid
 	cs      []float64 // cs[k] = C of mode k+1; decreasing
+	fams    []*ModeFamily
 	quantum time.Duration
 	mode    int // current 1-based mode index
 }
@@ -136,7 +145,14 @@ func NewAdaptiveWith(g projection.Grid, cs []float64, quantum time.Duration) *Ad
 	if quantum <= 0 {
 		panic("compress: mode quantum must be positive")
 	}
-	return &Adaptive{g: g, cs: cs, quantum: quantum, mode: 1}
+	// Resolve every mode's memoized matrix family once, at construction:
+	// the per-frame Levels call is then a slice index into shared
+	// read-only matrices — zero allocations on the hot path.
+	fams := make([]*ModeFamily, len(cs))
+	for i, c := range cs {
+		fams[i] = FamilyFor(g, c)
+	}
+	return &Adaptive{g: g, cs: cs, fams: fams, quantum: quantum, mode: 1}
 }
 
 // Name implements Controller.
@@ -148,9 +164,17 @@ func (a *Adaptive) Mode() int { return a.mode }
 // ModeC reports the C constant of the current mode.
 func (a *Adaptive) ModeC() float64 { return a.cs[a.mode-1] }
 
-// Levels implements Controller.
+// Levels implements Controller. The returned matrix is a shared read-only
+// view from the memoized Eq. 1 family (bit-identical to ModeMatrix);
+// callers must not mutate it. The call performs no allocation.
 func (a *Adaptive) Levels(roi projection.Tile) (Matrix, int) {
-	return ModeMatrix(a.g, roi, a.ModeC()), a.mode
+	return a.fams[a.mode-1].Matrix(roi), a.mode
+}
+
+// Matrix returns the shared read-only Eq. 1 matrix the controller would
+// use for roi in its current mode (the first return of Levels).
+func (a *Adaptive) Matrix(roi projection.Tile) Matrix {
+	return a.fams[a.mode-1].Matrix(roi)
 }
 
 // ObserveMismatch implements Controller: selects the compression mode from
@@ -174,6 +198,7 @@ type Conduit struct {
 	g      projection.Grid
 	ring   int
 	nonROI float64
+	fam    *cropFamily
 }
 
 // ConduitCropRing is how many tile rings around the ROI tile the crop
@@ -191,28 +216,22 @@ const ConduitNonROILevel = LevelCap
 
 // NewConduit builds the Conduit benchmark controller.
 func NewConduit(g projection.Grid) *Conduit {
-	return &Conduit{g: g, ring: ConduitCropRing, nonROI: ConduitNonROILevel}
+	return &Conduit{
+		g:      g,
+		ring:   ConduitCropRing,
+		nonROI: ConduitNonROILevel,
+		fam:    cropFamilyFor(g, ConduitCropRing, ConduitNonROILevel),
+	}
 }
 
 // Name implements Controller.
 func (c *Conduit) Name() string { return "Conduit" }
 
 // Levels implements Controller: the cropped ROI region at LMin, everything
-// else at the floor quality.
+// else at the floor quality. The returned mask is a shared read-only view
+// from the memoized crop family; callers must not mutate it.
 func (c *Conduit) Levels(roi projection.Tile) (Matrix, int) {
-	m := make(Matrix, c.g.Tiles())
-	for j := 0; j < c.g.H; j++ {
-		for i := 0; i < c.g.W; i++ {
-			t := projection.Tile{I: i, J: j}
-			dx, dy := c.g.Distance(t, roi)
-			if dx <= c.ring && dy <= c.ring {
-				m[c.g.Index(t)] = LMin
-			} else {
-				m[c.g.Index(t)] = c.nonROI
-			}
-		}
-	}
-	return m, 0
+	return c.fam.matrix(roi), 0
 }
 
 // ObserveMismatch implements Controller; Conduit never adapts (§6.1.1:
@@ -223,8 +242,9 @@ func (c *Conduit) ObserveMismatch(time.Duration) {}
 // centered at the ROI with quality decaying smoothly toward the corners —
 // a fixed Eq. 1 mode with a small C, never adapted.
 type Pyramid struct {
-	g projection.Grid
-	c float64
+	g   projection.Grid
+	c   float64
+	fam *ModeFamily
 }
 
 // PyramidC is the fixed smooth-decay constant of the Pyramid benchmark,
@@ -232,14 +252,17 @@ type Pyramid struct {
 const PyramidC = 1.2
 
 // NewPyramid builds the Pyramid benchmark controller.
-func NewPyramid(g projection.Grid) *Pyramid { return &Pyramid{g: g, c: PyramidC} }
+func NewPyramid(g projection.Grid) *Pyramid {
+	return &Pyramid{g: g, c: PyramidC, fam: FamilyFor(g, PyramidC)}
+}
 
 // Name implements Controller.
 func (p *Pyramid) Name() string { return "Pyramid" }
 
-// Levels implements Controller.
+// Levels implements Controller. The returned matrix is a shared read-only
+// memoized view; callers must not mutate it.
 func (p *Pyramid) Levels(roi projection.Tile) (Matrix, int) {
-	return ModeMatrix(p.g, roi, p.c), 0
+	return p.fam.Matrix(roi), 0
 }
 
 // ObserveMismatch implements Controller; Pyramid never adapts.
@@ -249,6 +272,7 @@ func (p *Pyramid) ObserveMismatch(time.Duration) {}
 type Fixed struct {
 	g    projection.Grid
 	c    float64
+	fam  *ModeFamily
 	name string
 }
 
@@ -257,15 +281,16 @@ func NewFixed(g projection.Grid, c float64) *Fixed {
 	if c <= 1 {
 		panic(fmt.Sprintf("compress: fixed C %g must exceed 1", c))
 	}
-	return &Fixed{g: g, c: c, name: fmt.Sprintf("Fixed(C=%.2f)", c)}
+	return &Fixed{g: g, c: c, fam: FamilyFor(g, c), name: fmt.Sprintf("Fixed(C=%.2f)", c)}
 }
 
 // Name implements Controller.
 func (f *Fixed) Name() string { return f.name }
 
-// Levels implements Controller.
+// Levels implements Controller. The returned matrix is a shared read-only
+// memoized view; callers must not mutate it.
 func (f *Fixed) Levels(roi projection.Tile) (Matrix, int) {
-	return ModeMatrix(f.g, roi, f.c), 0
+	return f.fam.Matrix(roi), 0
 }
 
 // ObserveMismatch implements Controller.
@@ -340,12 +365,18 @@ func (e *MismatchEstimator) Observe(now time.Duration, actualROI projection.Tile
 		at time.Duration
 		m  time.Duration
 	}{now, m})
-	// Evict samples older than the window.
+	// Evict samples older than the window. Compacting in place (instead of
+	// re-slicing the head away) keeps one stable backing array: the window
+	// holds a bounded number of samples, so after warm-up the estimator
+	// never allocates again.
 	cut := 0
 	for cut < len(e.samples) && now-e.samples[cut].at > e.window {
 		cut++
 	}
-	e.samples = e.samples[cut:]
+	if cut > 0 {
+		n := copy(e.samples, e.samples[cut:])
+		e.samples = e.samples[:n]
+	}
 
 	var sum time.Duration
 	for _, s := range e.samples {

@@ -324,9 +324,13 @@ type UE struct {
 	deliver func(Packet)
 	onDiag  func(DiagReport)
 
-	// Firmware buffer: FIFO with partial-packet service.
+	// Firmware buffer: FIFO with partial-packet service. queue[qhead:] is
+	// the live window; serve advances qhead instead of re-slicing the front
+	// away so the backing array is compacted and reused (see Enqueue)
+	// rather than abandoned to the allocator on every packet served.
 	queue      []Packet
-	headServed int // bytes of queue[0] already transmitted
+	qhead      int
+	headServed int // bytes of queue[qhead] already transmitted
 	bufBytes   int
 	credit     float64 // fractional bytes of grant not yet applied
 	dropped    int64
@@ -371,6 +375,13 @@ func (u *UE) Enqueue(p Packet) bool {
 		return false
 	}
 	p.Enq = u.cell.clk.Now()
+	// Reclaim the served prefix before growing past capacity, keeping one
+	// stable backing array in steady state.
+	if u.qhead > 0 && len(u.queue)+1 > cap(u.queue) {
+		n := copy(u.queue, u.queue[u.qhead:])
+		u.queue = u.queue[:n]
+		u.qhead = 0
+	}
 	u.queue = append(u.queue, p)
 	u.bufBytes += p.Bytes
 	return true
@@ -429,8 +440,8 @@ func (u *UE) serve(tbsBits float64) float64 {
 	// buffer left behind, and the PF metric that won the subframe (0 under
 	// the legacy single-UE stochastic discipline).
 	u.probe.Emit(u.cell.clk.Now(), obs.LTEGrant, served, float64(u.bufBytes), u.pfMetric, 0)
-	for bytes > 0 && len(u.queue) > 0 {
-		head := &u.queue[0]
+	for bytes > 0 && u.qhead < len(u.queue) {
+		head := &u.queue[u.qhead]
 		remaining := head.Bytes - u.headServed
 		if bytes < remaining {
 			u.headServed += bytes
@@ -438,12 +449,18 @@ func (u *UE) serve(tbsBits float64) float64 {
 			break
 		}
 		bytes -= remaining
-		done := u.queue[0]
-		u.queue = u.queue[1:]
+		done := u.queue[u.qhead]
+		u.queue[u.qhead] = Packet{} // release any payload reference
+		u.qhead++
 		u.headServed = 0
 		if u.deliver != nil {
 			u.deliver(done)
 		}
+	}
+	if u.qhead == len(u.queue) {
+		// Drained: rewind onto the same backing array.
+		u.queue = u.queue[:0]
+		u.qhead = 0
 	}
 	// A drained buffer forfeits leftover fractional grant bytes: the credit
 	// models sub-byte remainders of grants actually spent on queued data,

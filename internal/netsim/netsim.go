@@ -106,7 +106,9 @@ func (l *DelayLink) Send(payload any) {
 			out = l.lastOut // FIFO: no overtaking
 		}
 		l.lastOut = out
-		l.clk.Schedule(out, func() { l.deliver(payload) })
+		// SchedulePayload carries the delivery in the recycled event slot:
+		// no closure allocation on the per-packet path.
+		l.clk.SchedulePayload(out, l.deliver, payload)
 	}
 }
 

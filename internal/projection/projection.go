@@ -154,9 +154,17 @@ var DefaultFoV = FoV{H: 100, V: 90}
 // centered at o. The box is cyclic in yaw and clamped in pitch. The ROI
 // center tile is always included.
 func (g Grid) VisibleTiles(o Orientation, fov FoV) []Tile {
+	return g.AppendVisibleTiles(nil, o, fov)
+}
+
+// AppendVisibleTiles is VisibleTiles with a caller-owned destination:
+// visible tiles are appended to dst[:0] and the (possibly grown) slice is
+// returned, so per-frame hot paths reuse one scratch buffer instead of
+// allocating the list anew every displayed frame.
+func (g Grid) AppendVisibleTiles(dst []Tile, o Orientation, fov FoV) []Tile {
 	o = o.Normalized()
 	center := g.TileAt(o)
-	var out []Tile
+	out := dst[:0]
 	for j := 0; j < g.H; j++ {
 		for i := 0; i < g.W; i++ {
 			t := Tile{I: i, J: j}

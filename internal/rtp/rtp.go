@@ -35,18 +35,27 @@ type Packet struct {
 // Packetize splits an encoded frame into MTU-sized packets. Every frame
 // yields at least one packet.
 func Packetize(f *video.EncodedFrame) []Packet {
+	return AppendPackets(nil, f)
+}
+
+// AppendPackets is Packetize with a caller-owned destination: packets are
+// appended to dst[:0] and the (possibly grown) slice is returned. The
+// pacer's Enqueue copies packets into its own queue, so a sender can reuse
+// one scratch slice per frame instead of allocating a packet list every
+// capture tick.
+func AppendPackets(dst []Packet, f *video.EncodedFrame) []Packet {
 	bytes := int(f.Bits / 8)
 	if bytes < 1 {
 		bytes = 1
 	}
 	count := (bytes + MTU - 1) / MTU
-	pkts := make([]Packet, count)
-	for i := range pkts {
+	pkts := dst[:0]
+	for i := 0; i < count; i++ {
 		sz := MTU
 		if i == count-1 {
 			sz = bytes - MTU*(count-1)
 		}
-		pkts[i] = Packet{FrameSeq: f.Seq, Index: i, Count: count, Bytes: sz, Frame: f}
+		pkts = append(pkts, Packet{FrameSeq: f.Seq, Index: i, Count: count, Bytes: sz, Frame: f})
 	}
 	return pkts
 }
@@ -55,11 +64,15 @@ func Packetize(f *video.EncodedFrame) []Packet {
 // controlled rate. Its tick is fine-grained (5 ms) so the firmware buffer
 // sees a smooth arrival process.
 type Pacer struct {
-	clk    *simclock.Clock
-	tick   time.Duration
-	rate   float64 // bits/s
-	send   func(Packet) bool
+	clk  *simclock.Clock
+	tick time.Duration
+	rate float64 // bits/s
+	send func(Packet) bool
+	// queue[head:] is the live FIFO. Popping advances head instead of
+	// re-slicing the front away, so the backing array is recycled (see
+	// Enqueue) rather than abandoned to the allocator on every wrap.
 	queue  []Packet
+	head   int
 	queued float64 // bits
 	credit float64 // bits
 	drops  int64
@@ -94,8 +107,16 @@ func (p *Pacer) SetRate(rate float64) {
 // Rate returns the current pacing rate.
 func (p *Pacer) Rate() float64 { return p.rate }
 
-// Enqueue appends a frame's packets to the video buffer.
+// Enqueue appends a frame's packets to the video buffer. Packets are
+// copied in, so the caller may reuse pkts immediately.
 func (p *Pacer) Enqueue(pkts []Packet) {
+	// Reclaim the consumed prefix before growing past capacity, keeping
+	// one stable backing array in steady state.
+	if p.head > 0 && len(p.queue)+len(pkts) > cap(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
 	for _, pkt := range pkts {
 		p.queue = append(p.queue, pkt)
 		p.queued += float64(pkt.Bytes) * 8
@@ -115,14 +136,15 @@ func (p *Pacer) onTick() {
 	if p.credit > maxCredit {
 		p.credit = maxCredit
 	}
-	for len(p.queue) > 0 {
-		pkt := p.queue[0]
+	for p.head < len(p.queue) {
+		pkt := p.queue[p.head]
 		bits := float64(pkt.Bytes) * 8
 		if p.credit < bits {
 			break
 		}
 		p.credit -= bits
-		p.queue = p.queue[1:]
+		p.queue[p.head] = Packet{} // release the frame reference
+		p.head++
 		p.queued -= bits
 		pkt.SentAt = p.clk.Now()
 		pkt.Seq = p.seq
@@ -131,8 +153,13 @@ func (p *Pacer) onTick() {
 			p.drops++
 		}
 	}
-	if len(p.queue) == 0 && p.credit > float64(MTU*8) {
-		p.credit = MTU * 8
+	if p.head == len(p.queue) {
+		// Drained: rewind onto the same backing array.
+		p.queue = p.queue[:0]
+		p.head = 0
+		if p.credit > float64(MTU*8) {
+			p.credit = MTU * 8
+		}
 	}
 }
 

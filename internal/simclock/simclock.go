@@ -4,6 +4,18 @@
 // callbacks at absolute or relative virtual times and the engine executes
 // them in time order with FIFO tie-breaking, so a given seed always yields
 // the same trajectory.
+//
+// # Event arena
+//
+// Scheduling is the hottest allocation site of a session (a 30 s cellular
+// run schedules ~44 000 events: 30 000 LTE subframes, 6 000 pacer ticks,
+// per-packet deliveries, frame/feedback/diag timers). Fired events are
+// therefore recycled through a per-clock free list instead of being left
+// to the garbage collector: after the steady-state heap depth is reached,
+// Schedule allocates nothing. Recycling is invisible to callers — event
+// order, FIFO tie-breaking and Handle.Cancel semantics are unchanged (a
+// Handle carries the generation of the event it cancels, so a stale handle
+// to a recycled slot is a no-op exactly like a handle to a fired event).
 package simclock
 
 import (
@@ -14,10 +26,17 @@ import (
 
 // Event is a scheduled callback. Events compare by time, then by insertion
 // sequence so simultaneous events run in the order they were scheduled.
+// Exactly one of fn / pfn is set; pfn carries its argument in arg so
+// payload deliveries (network links) schedule without a closure allocation.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	pfn func(any)
+	arg any
+	// gen distinguishes incarnations of a recycled event slot; Handles
+	// remember the generation they were issued for.
+	gen uint32
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
 	index    int
@@ -62,6 +81,9 @@ type Clock struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
+	// free is the event arena: fired (or skipped-canceled) events are
+	// recycled here so steady-state scheduling allocates nothing.
+	free []*event
 }
 
 // New returns a Clock positioned at virtual time zero with no pending events.
@@ -73,27 +95,74 @@ func New() *Clock {
 func (c *Clock) Now() time.Duration { return c.now }
 
 // Handle identifies a scheduled event and allows cancellation.
-type Handle struct{ e *event }
+type Handle struct {
+	e   *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op (the underlying slot may since have
+// been recycled for an unrelated event; the generation check makes the
+// stale cancel inert).
 func (h Handle) Cancel() {
-	if h.e != nil {
+	if h.e != nil && h.e.gen == h.gen {
 		h.e.canceled = true
 	}
+}
+
+// alloc takes an event from the free list (or the allocator) and stamps the
+// scheduling metadata shared by every schedule path.
+func (c *Clock) alloc(at time.Duration) *event {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
+	}
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = at
+	e.seq = c.seq
+	c.seq++
+	return e
+}
+
+// recycle returns a popped event to the arena. The generation bump
+// invalidates any outstanding Handle to the finished incarnation.
+func (c *Clock) recycle(e *event) {
+	e.fn = nil
+	e.pfn = nil
+	e.arg = nil
+	e.canceled = false
+	e.gen++
+	c.free = append(c.free, e)
 }
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it indicates a logic error in the caller, and silently reordering
 // time would corrupt every downstream measurement.
 func (c *Clock) Schedule(at time.Duration, fn func()) Handle {
-	if at < c.now {
-		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
-	}
-	e := &event{at: at, seq: c.seq, fn: fn}
-	c.seq++
+	e := c.alloc(at)
+	e.fn = fn
 	heap.Push(&c.events, e)
-	return Handle{e}
+	return Handle{e, e.gen}
+}
+
+// SchedulePayload runs fn(arg) at absolute virtual time at. It is the
+// closure-free variant of Schedule for hot paths that deliver a payload
+// through a long-lived function (network links schedule one event per
+// packet): the callback and its argument ride in the recycled event slot,
+// so steady-state per-packet scheduling performs zero allocations beyond
+// whatever boxing arg itself required.
+func (c *Clock) SchedulePayload(at time.Duration, fn func(any), arg any) Handle {
+	e := c.alloc(at)
+	e.pfn = fn
+	e.arg = arg
+	heap.Push(&c.events, e)
+	return Handle{e, e.gen}
 }
 
 // ScheduleAfter runs fn after delay d (d < 0 is treated as 0).
@@ -125,16 +194,30 @@ func (c *Clock) Ticker(period time.Duration, fn func()) (stop func()) {
 	return func() { stopped = true }
 }
 
+// fire copies the callback out of a popped event, recycles the slot, and
+// invokes the callback. Copy-then-recycle lets the callback's own
+// scheduling immediately reuse the slot.
+func (c *Clock) fire(e *event) {
+	fn, pfn, arg := e.fn, e.pfn, e.arg
+	c.recycle(e)
+	if pfn != nil {
+		pfn(arg)
+	} else {
+		fn()
+	}
+}
+
 // Step executes the next pending event, advancing the clock to its time.
 // It reports false when no events remain.
 func (c *Clock) Step() bool {
 	for c.events.Len() > 0 {
 		e := heap.Pop(&c.events).(*event)
 		if e.canceled {
+			c.recycle(e)
 			continue
 		}
 		c.now = e.at
-		e.fn()
+		c.fire(e)
 		return true
 	}
 	return false
@@ -148,7 +231,7 @@ func (c *Clock) Run(until time.Duration) {
 		// Peek.
 		next := c.events[0]
 		if next.canceled {
-			heap.Pop(&c.events)
+			c.recycle(heap.Pop(&c.events).(*event))
 			continue
 		}
 		if next.at > until {
@@ -156,7 +239,7 @@ func (c *Clock) Run(until time.Duration) {
 		}
 		heap.Pop(&c.events)
 		c.now = next.at
-		next.fn()
+		c.fire(next)
 	}
 	if c.now < until {
 		c.now = until

@@ -113,6 +113,7 @@ type Source struct {
 	hotYaw   float64
 	hotDrift float64
 	weights  []float64 // scratch, per tile
+	bits     []float64 // scratch: the returned frame's TileBits
 }
 
 // NewSource returns a Source for cfg. It panics on invalid configs — a
@@ -128,6 +129,7 @@ func NewSource(cfg Config) *Source {
 		hotYaw:   90,
 		hotDrift: 12, // degrees per second
 		weights:  make([]float64, cfg.Grid.Tiles()),
+		bits:     make([]float64, cfg.Grid.Tiles()),
 	}
 }
 
@@ -136,6 +138,12 @@ func (s *Source) Config() Config { return s.cfg }
 
 // NextFrame produces the frame captured at time now. Frames are numbered
 // sequentially from 0.
+//
+// The returned frame's TileBits is a per-source scratch arena: it is valid
+// until the next NextFrame call on the same source, which overwrites it in
+// place. The session pipeline consumes a frame (Encode) within its capture
+// tick, so nothing downstream ever observes a stale buffer; callers that
+// need to hold raw frames across captures must copy TileBits.
 func (s *Source) NextFrame(now time.Duration) Frame {
 	g := s.cfg.Grid
 	perFrame := s.cfg.RawBitsPerSec / float64(s.cfg.FPS)
@@ -162,7 +170,7 @@ func (s *Source) NextFrame(now time.Duration) Frame {
 		}
 	}
 
-	bits := make([]float64, g.Tiles())
+	bits := s.bits
 	for idx, w := range s.weights {
 		bits[idx] = perFrame * w / total
 	}
@@ -192,13 +200,25 @@ func (c Config) PSNRForLevel(level float64) float64 {
 // EncodedFrame is a frame after spatial compression (the per-tile level
 // matrix) and bitrate-targeted encoding (the uniform scale applied by the
 // encoder when the spatially-compressed frame still exceeds the bit budget).
+//
+// The effective per-tile level is not materialized: it is the pure product
+// of the spatial matrix entry (clamped to ≥ 1) and the uniform encoder
+// Scale, so EncodedFrame carries the spatial matrix by reference — in the
+// session pipeline that is a shared read-only view from the memoized Eq. 1
+// cache — and LevelAt computes max(1, Spatial[idx])·Scale on demand. This
+// keeps the per-frame encode path allocation-free while producing levels
+// bit-identical to the previously materialized slice.
 type EncodedFrame struct {
 	Seq     int
 	Capture time.Duration
-	Bits    float64   // total encoded size in bits
-	Levels  []float64 // effective per-tile compression levels (spatial × scale)
-	Scale   float64   // uniform encoder scale ≥ 1
-	Jitter  float64   // content-difficulty offset carried from the raw frame
+	Bits    float64 // total encoded size in bits
+	// Spatial is the per-tile spatial compression matrix used by the
+	// encoder (indexed by Grid.Index). It is retained by reference and
+	// must not be mutated after Encode — session controllers hand out
+	// immutable cached matrices, so this holds by construction.
+	Spatial []float64
+	Scale   float64 // uniform encoder scale ≥ 1
+	Jitter  float64 // content-difficulty offset carried from the raw frame
 	// SenderROI is the sender's (possibly stale) belief of the viewer ROI
 	// used when choosing the spatial matrix; embedded in the frame like the
 	// prototype embeds compression metadata in the canvas (§5).
@@ -207,12 +227,36 @@ type EncodedFrame struct {
 	Mode int
 }
 
+// LevelAt returns the effective compression level of tile index idx:
+// max(1, Spatial[idx]) · Scale.
+func (ef *EncodedFrame) LevelAt(idx int) float64 {
+	l := ef.Spatial[idx]
+	if l < 1 {
+		l = 1
+	}
+	return l * ef.Scale
+}
+
+// EffectiveLevels materializes the full effective-level matrix (one
+// LevelAt per tile) into a fresh slice. Diagnostics and tests only — hot
+// paths use LevelAt.
+func (ef *EncodedFrame) EffectiveLevels() []float64 {
+	out := make([]float64, len(ef.Spatial))
+	for idx := range ef.Spatial {
+		out[idx] = ef.LevelAt(idx)
+	}
+	return out
+}
+
 // Encode applies a spatial compression matrix (per-tile levels ≥ 1, indexed
 // by Grid.Index) and then, if the result still exceeds budgetBits, an
 // additional uniform encoder scale so the frame fits the rate controller's
 // per-frame budget. A budget ≤ 0 means "no budget" (spatial only). The
 // scale is capped at maxScale (≤ 0 means unbounded), so a frame can never
 // shrink below spatialBits/maxScale — the codec's quantizer floor.
+//
+// The returned frame retains levels by reference (see EncodedFrame.Spatial);
+// callers must not mutate levels afterwards.
 func Encode(f *Frame, levels []float64, budgetBits float64, senderROI projection.Tile, mode int, maxScale float64) EncodedFrame {
 	if len(levels) != len(f.TileBits) {
 		panic(fmt.Sprintf("video: levels size %d != tiles %d", len(levels), len(f.TileBits)))
@@ -232,18 +276,11 @@ func Encode(f *Frame, levels []float64, budgetBits float64, senderROI projection
 	if maxScale > 0 && scale > maxScale {
 		scale = maxScale
 	}
-	eff := make([]float64, len(levels))
-	for idx, l := range levels {
-		if l < 1 {
-			l = 1
-		}
-		eff[idx] = l * scale
-	}
 	return EncodedFrame{
 		Seq:       f.Seq,
 		Capture:   f.Capture,
 		Bits:      spatial / scale,
-		Levels:    eff,
+		Spatial:   levels,
 		Scale:     scale,
 		Jitter:    f.Jitter,
 		SenderROI: senderROI,
@@ -257,8 +294,17 @@ func Encode(f *Frame, levels []float64, budgetBits float64, senderROI projection
 // measurement methodology (§5): the client dumps only its displayed ROI and
 // quality is compared there, not across the whole panorama.
 func (ef *EncodedFrame) ROIPSNR(cfg Config, actual projection.Orientation, fov projection.FoV) float64 {
+	p, _ := ef.ROIPSNRScratch(cfg, actual, fov, nil)
+	return p
+}
+
+// ROIPSNRScratch is ROIPSNR with a caller-owned scratch buffer for the
+// visible-tile list. It returns the PSNR and the (possibly grown) scratch
+// for reuse, so the per-displayed-frame hot path performs no allocation
+// once the scratch has reached the FoV's tile count.
+func (ef *EncodedFrame) ROIPSNRScratch(cfg Config, actual projection.Orientation, fov projection.FoV, scratch []projection.Tile) (float64, []projection.Tile) {
 	g := cfg.Grid
-	vis := g.VisibleTiles(actual, fov)
+	vis := g.AppendVisibleTiles(scratch, actual, fov)
 	sigma := cfg.FoveaSigma
 	if sigma <= 0 {
 		sigma = 25
@@ -267,19 +313,19 @@ func (ef *EncodedFrame) ROIPSNR(cfg Config, actual projection.Orientation, fov p
 	for _, tl := range vis {
 		d := projection.AngularDistance(g.Center(tl), actual)
 		w := g.AreaWeight(tl.J) * math.Exp(-d*d/(2*sigma*sigma))
-		num += w * cfg.PSNRForLevel(ef.Levels[g.Index(tl)])
+		num += w * cfg.PSNRForLevel(ef.LevelAt(g.Index(tl)))
 		den += w
 	}
 	if den == 0 {
-		return cfg.PSNRMin
+		return cfg.PSNRMin, vis
 	}
 	p := num/den + ef.Jitter
-	return math.Max(cfg.PSNRMin, math.Min(cfg.PSNRMax+3, p))
+	return math.Max(cfg.PSNRMin, math.Min(cfg.PSNRMax+3, p)), vis
 }
 
 // ROILevel returns the effective compression level at the viewer's actual
 // ROI center tile — the quantity whose short-term variance the paper uses
 // for its stability metric (Fig. 12).
 func (ef *EncodedFrame) ROILevel(g projection.Grid, actual projection.Orientation) float64 {
-	return ef.Levels[g.Index(g.TileAt(actual))]
+	return ef.LevelAt(g.Index(g.TileAt(actual)))
 }

@@ -165,7 +165,7 @@ func TestEncodeBudgetScalesDown(t *testing.T) {
 	if math.Abs(ef.Scale-10) > 1e-9 {
 		t.Fatalf("scale = %v, want 10", ef.Scale)
 	}
-	for _, l := range ef.Levels {
+	for _, l := range ef.EffectiveLevels() {
 		if math.Abs(l-10) > 1e-9 {
 			t.Fatalf("effective level %v, want 10", l)
 		}

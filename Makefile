@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke bench-profile ci
+.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke bench-profile bench-snapshot bench-gate ci
 
 all: build
 
@@ -18,16 +18,23 @@ test:
 	$(GO) test ./...
 
 ## race: the suite under the race detector (short mode; the parallel
-## experiment engine is exercised with multiple workers either way).
+## experiment engine is exercised with multiple workers either way), plus
+## a full-mode pass over the intra-experiment sharding tests — the
+## cross-batch worker pool and the byte-identity contracts it must keep.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -run 'BytesIdentical|Parallel|CrossBatch' ./internal/experiments
 
-## lint: gofmt cleanliness plus go vet.
+## lint: gofmt cleanliness (vet is its own target so the CI matrix can
+## report formatting and analysis failures independently).
 lint:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+## vet: go vet static analysis.
+vet:
 	$(GO) vet ./...
 
 ## fmt: rewrite files in place with gofmt.
@@ -101,6 +108,31 @@ bench-profile:
 		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
 	@echo "profiles written to ./profiles (inspect with: go tool pprof profiles/cpu.pprof)"
 
-## ci: the umbrella target the GitHub workflow fans out over.
-ci: build lint test race bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke
-	@echo "ci: all checks passed"
+## bench-snapshot: measure the perf-trajectory scenarios and write a
+## snapshot stamped with the current short commit hash (BENCH_<sha>.json).
+## CI uploads it as a build artifact so the repo accumulates a
+## machine-readable performance history; to move the committed baseline,
+## copy a snapshot over BENCH_baseline.json.
+bench-snapshot:
+	$(GO) run ./cmd/poi360-bench -json "BENCH_$$(git rev-parse --short HEAD).json"
+
+## bench-gate: measure the perf-trajectory scenarios and gate them against
+## the committed baseline. Fails on >10% calibrated-time regression or >5%
+## allocation growth on any scenario (see internal/perftraj).
+bench-gate:
+	$(GO) run ./cmd/poi360-bench -gate BENCH_baseline.json
+
+## ci: the umbrella target the GitHub workflow fans out over. Runs every
+## target even after a failure and reports the full list of failed targets
+## in the trailer, so one red gate doesn't hide another.
+CI_TARGETS := build lint vet test race bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke bench-gate
+ci:
+	@failed=""; \
+	for t in $(CI_TARGETS); do \
+		echo "=== make $$t"; \
+		$(MAKE) --no-print-directory $$t || failed="$$failed $$t"; \
+	done; \
+	if [ -n "$$failed" ]; then \
+		echo "ci: FAILED targets:$$failed"; exit 1; \
+	fi; \
+	echo "ci: all checks passed"

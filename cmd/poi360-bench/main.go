@@ -11,6 +11,14 @@
 //	poi360-bench -list                   # list experiment IDs
 //	poi360-bench -cpuprofile cpu.pprof   # write a CPU profile of the run
 //	poi360-bench -memprofile mem.pprof   # write a heap profile at exit
+//	poi360-bench -json out.json          # measure the perf-trajectory scenarios,
+//	                                     # write a versioned snapshot, exit
+//	poi360-bench -gate BENCH_baseline.json  # measure and gate against a baseline
+//
+// -json and -gate run the committed internal/perftraj benchmark scenarios
+// instead of the paper experiments; they compose (measure once, write the
+// snapshot, then gate). The gate exits 1 and prints one line per tolerance
+// violation; see `make bench-gate` / `make bench-snapshot`.
 //
 // Sessions of a batch run on a bounded worker pool (default GOMAXPROCS);
 // for a fixed -seed the printed tables are byte-identical at any -workers.
@@ -29,26 +37,35 @@ import (
 	"time"
 
 	"poi360"
+	"poi360/internal/perftraj"
 	"poi360/internal/trace"
 )
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
-		quick   = flag.Bool("quick", false, "shrink sessions for a fast pass")
-		seed    = flag.Int64("seed", 0, "seed offset for all sessions")
-		users   = flag.Int("users", 0, "override number of user profiles (1-5)")
-		repeats = flag.Int("repeats", 0, "override per-user session repeats")
-		secs    = flag.Int("session-seconds", 0, "override per-session duration")
-		csvDir  = flag.String("csv", "", "directory to dump raw curve CSVs into")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		verbose = flag.Bool("v", false, "print per-session progress")
-		workers = flag.Int("workers", 0, "max concurrent sessions per batch (0 = GOMAXPROCS, 1 = sequential; output is identical either way for a fixed -seed)")
-		obsOn   = flag.Bool("obs", false, "collect FBCC congestion-episode telemetry and print a per-experiment episode table (does not change any experiment output)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
+		expID     = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		quick     = flag.Bool("quick", false, "shrink sessions for a fast pass")
+		seed      = flag.Int64("seed", 0, "seed offset for all sessions")
+		users     = flag.Int("users", 0, "override number of user profiles (1-5)")
+		repeats   = flag.Int("repeats", 0, "override per-user session repeats")
+		secs      = flag.Int("session-seconds", 0, "override per-session duration")
+		csvDir    = flag.String("csv", "", "directory to dump raw curve CSVs into")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		verbose   = flag.Bool("v", false, "print per-session progress")
+		workers   = flag.Int("workers", 0, "max concurrent sessions per batch (0 = GOMAXPROCS, 1 = sequential; output is identical either way for a fixed -seed)")
+		obsOn     = flag.Bool("obs", false, "collect FBCC congestion-episode telemetry and print a per-experiment episode table (does not change any experiment output)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
+		jsonOut   = flag.String("json", "", "measure the perf-trajectory scenarios and write a versioned JSON snapshot here (skips the experiments)")
+		gate      = flag.String("gate", "", "measure the perf-trajectory scenarios and gate them against this baseline snapshot; exit 1 on regression")
+		benchReps = flag.Int("bench-reps", 5, "repetitions per perf-trajectory scenario (min wall time wins)")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" || *gate != "" {
+		perfTrajectory(*jsonOut, *gate, *benchReps)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -149,6 +166,39 @@ func main() {
 		fmt.Printf("\n    (%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
 	}
 	fmt.Printf("completed %d experiments in %.1fs\n", len(todo), time.Since(start).Seconds())
+}
+
+// perfTrajectory measures the committed benchmark scenarios and then
+// writes a snapshot (-json), gates against a baseline (-gate), or both.
+func perfTrajectory(jsonOut, gate string, reps int) {
+	snap, err := perftraj.Measure(reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf trajectory: %v\n", err)
+		os.Exit(1)
+	}
+	perftraj.Fprint(os.Stdout, snap)
+	if jsonOut != "" {
+		if err := perftraj.Write(jsonOut, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "perf trajectory: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	if gate != "" {
+		baseline, err := perftraj.Read(gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perf trajectory: %v\n", err)
+			os.Exit(1)
+		}
+		if regs := perftraj.Compare(baseline, snap, perftraj.DefaultTolerance); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "bench gate FAILED against %s:\n", gate)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate passed against %s\n", gate)
+	}
 }
 
 func dumpSeries(dir, id string, series []trace.Series) error {

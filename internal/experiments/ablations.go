@@ -23,18 +23,6 @@ var AblationNoModeSwitch = Experiment{
 		tab := trace.New("abl-modes", "Fixed Eq. 1 modes vs POI360's adaptive switching (busy cell, GCC)",
 			"controller", "mean PSNR", "P10 PSNR", "freeze ratio", "mean stability std")
 
-		addRow := func(name string, cfg session.Config) error {
-			agg, err := runBatch(o, cfg)
-			if err != nil {
-				return err
-			}
-			tab.Add(name, trace.DB(agg.PSNR().Mean), trace.DB(agg.PSNR().P10), trace.Pct(agg.FreezeRatio()), trace.F(agg.Stability().Mean, 2))
-			rep.Measured[name+"_psnr"] = agg.PSNR().Mean
-			rep.Measured[name+"_p10"] = agg.PSNR().P10
-			rep.Measured[name+"_fr"] = agg.FreezeRatio()
-			return nil
-		}
-
 		// Two latency regimes: the busy cell (short feedback path) and the
 		// same cell behind a long-haul path (laggy ROI feedback, the Fig. 4
 		// regime where conservative modes earn their keep). A fixed mode
@@ -52,21 +40,36 @@ var AblationNoModeSwitch = Experiment{
 			{"short path", netsim.CellularPath},
 			{"long path", longHaul},
 		}
+		// Collect every row's config first, run them all through one shared
+		// worker pool, then build the table in row order.
+		var (
+			names []string
+			cfgs  []session.Config
+		)
 		for _, reg := range regimes {
 			base := session.Config{Network: session.Cellular, Cell: lte.ProfileBusy, RC: session.RCGCC, Path: reg.path}
 			adaptive := base
 			adaptive.Scheme = session.SchemeAdaptive
-			if err := addRow(reg.label+" adaptive (POI360)", adaptive); err != nil {
-				return nil, err
-			}
+			names = append(names, reg.label+" adaptive (POI360)")
+			cfgs = append(cfgs, adaptive)
 			for _, c := range []float64{1.8, 1.4, 1.1} {
 				fixed := base
 				fixed.Scheme = session.SchemeFixed
 				fixed.FixedC = c
-				if err := addRow(fmt.Sprintf("%s fixed C=%.1f", reg.label, c), fixed); err != nil {
-					return nil, err
-				}
+				names = append(names, fmt.Sprintf("%s fixed C=%.1f", reg.label, c))
+				cfgs = append(cfgs, fixed)
 			}
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			name := names[i]
+			tab.Add(name, trace.DB(agg.PSNR().Mean), trace.DB(agg.PSNR().P10), trace.Pct(agg.FreezeRatio()), trace.F(agg.Stability().Mean, 2))
+			rep.Measured[name+"_psnr"] = agg.PSNR().Mean
+			rep.Measured[name+"_p10"] = agg.PSNR().P10
+			rep.Measured[name+"_fr"] = agg.FreezeRatio()
 		}
 		rep.Tables = append(rep.Tables, tab)
 		return rep, nil
@@ -84,18 +87,23 @@ var AblationFBCCK = Experiment{
 		rep := newReport()
 		tab := trace.New("abl-k", "FBCC with different Eq. 3 windows (campus cell)",
 			"K", "freeze ratio", "mean PSNR", "overuse detections/session")
-		for _, k := range []int{3, 10, 25} {
-			cfg := session.Config{
+		ks := []int{3, 10, 25}
+		cfgs := make([]session.Config, len(ks))
+		for i, k := range ks {
+			cfgs[i] = session.Config{
 				Network: session.Cellular,
 				Cell:    lte.ProfileCampus,
 				Scheme:  session.SchemeAdaptive,
 				RC:      session.RCFBCC,
 				FBCCK:   k,
 			}
-			agg, err := runBatch(o, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			k := ks[i]
 			per := float64(agg.Overuses) / float64(agg.Sessions)
 			tab.Add(fmt.Sprintf("%d", k), trace.Pct(agg.FreezeRatio()), trace.DB(agg.PSNR().Mean), trace.F(per, 1))
 			rep.Measured[fmt.Sprintf("K%d_fr", k)] = agg.FreezeRatio()
@@ -117,24 +125,29 @@ var AblationNoRTPLoop = Experiment{
 		rep := newReport()
 		tab := trace.New("abl-rtp", "FBCC with and without the sweet-spot RTP loop (campus cell)",
 			"variant", "median buffer (KB)", "mean throughput", "freeze ratio")
-		for _, v := range []struct {
+		variants := []struct {
 			name    string
 			disable bool
 		}{
 			{"full FBCC", false},
 			{"no Eq. 7 loop", true},
-		} {
-			cfg := session.Config{
+		}
+		cfgs := make([]session.Config, len(variants))
+		for i, v := range variants {
+			cfgs[i] = session.Config{
 				Network:        session.Cellular,
 				Cell:           lte.ProfileCampus,
 				Scheme:         session.SchemeAdaptive,
 				RC:             session.RCFBCC,
 				DisableRTPLoop: v.disable,
 			}
-			agg, err := runBatch(o, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			v := variants[i]
 			var bufs []float64
 			for _, d := range agg.Diag {
 				bufs = append(bufs, float64(d.BufferBytes)/1024)
@@ -162,18 +175,23 @@ var AblationHold = Experiment{
 		rep := newReport()
 		tab := trace.New("abl-hold", "FBCC hold duration after uplink overuse (campus cell)",
 			"hold (RTTs)", "mean throughput", "throughput std", "freeze ratio", "mean PSNR")
-		for _, h := range []float64{0.25, 2, 6} {
-			cfg := session.Config{
+		holds := []float64{0.25, 2, 6}
+		cfgs := make([]session.Config, len(holds))
+		for i, h := range holds {
+			cfgs[i] = session.Config{
 				Network:      session.Cellular,
 				Cell:         lte.ProfileCampus,
 				Scheme:       session.SchemeAdaptive,
 				RC:           session.RCFBCC,
 				FBCCHoldRTTs: h,
 			}
-			agg, err := runBatch(o, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			h := holds[i]
 			ts := metrics.Summarize(agg.Throughput)
 			tab.Add(trace.F(h, 2), trace.Mbps(ts.Mean), trace.Mbps(ts.Std), trace.Pct(agg.FreezeRatio()), trace.DB(agg.PSNR().Mean))
 			rep.Measured[trace.F(h, 2)+"_fr"] = agg.FreezeRatio()

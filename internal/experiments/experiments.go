@@ -291,40 +291,75 @@ func batchLabel(base session.Config) string {
 var fbccKinds = []obs.Kind{obs.FBCCTrigger, obs.FBCCPin, obs.FBCCRelease, obs.FBCCWatchdog}
 
 // runBatch runs the users × repeats session grid derived from base (Seed
-// and User varied per cell) and aggregates the results.
-//
-// Sessions are fanned out over a bounded worker pool (Options.Workers,
-// default GOMAXPROCS). Each session is an independent discrete-event
-// simulation whose randomness derives only from its collision-free
-// per-session seed, and completed results are folded back strictly in
-// (user, repeat) order, so for a fixed Options.Seed the aggregate — and
-// every table, CDF, and report built from it — is byte-identical no
-// matter how many workers ran the batch.
+// and User varied per cell) and aggregates the results. It is runBatches
+// with a single batch; see there for the engine guarantees.
 func runBatch(o Options, base session.Config) (*sessionAgg, error) {
-	base.Duration = o.sessionTime()
-	// Skip the rate controller's start-up ramp (and the backlog it leaves)
-	// so batches measure steady state, like the paper's 5-minute sessions.
-	base.StatsWarmup = batchWarmup
+	aggs, err := runBatches(o, []session.Config{base})
+	if err != nil {
+		return nil, err
+	}
+	return aggs[0], nil
+}
+
+// runBatches runs several batches' session grids through ONE bounded worker
+// pool and returns the per-batch aggregates in input order. Flattening an
+// experiment's batches into a single work list keeps every core busy across
+// batch boundaries: with B sequential runBatch calls, each batch's last
+// stragglers leave workers idle B times; with one pool the only ramp-down is
+// at the very end of the experiment.
+//
+// The engine guarantees are unchanged from the single-batch pool:
+//
+//   - Work item i = (batch b, user u, repeat r) with i = (b·users+u)·repeats+r.
+//     Each item is an independent discrete-event simulation whose randomness
+//     derives only from its collision-free per-session seed — the same
+//     session.DeriveSeed(o.Seed, u, r) per batch as sequential runBatch
+//     calls would use.
+//   - Results fold back strictly in (batch, user, repeat) order, so for a
+//     fixed Options.Seed the aggregates — and every table, CDF, and report
+//     built from them — are byte-identical no matter how many workers ran.
+//   - Progress lines flush in flattened-index order, which is exactly the
+//     order B sequential batches would have printed.
+//   - Errors surface from the lowest flattened index, matching what the
+//     sequential path would have reported first.
+//   - Options.Obs episode batches are recorded per batch, in batch order,
+//     after the pool drains.
+func runBatches(o Options, bases []session.Config) ([]*sessionAgg, error) {
+	if len(bases) == 0 {
+		return nil, nil
+	}
 	users, repeats := o.users(), o.repeats()
-	n := users * repeats
-	slots := make([]batchSlot, n)
+	per := users * repeats
+	total := len(bases) * per
+	prepared := make([]session.Config, len(bases))
+	for b, base := range bases {
+		base.Duration = o.sessionTime()
+		// Skip the rate controller's start-up ramp (and the backlog it
+		// leaves) so batches measure steady state, like the paper's
+		// 5-minute sessions.
+		base.StatsWarmup = batchWarmup
+		prepared[b] = base
+	}
+	slots := make([]batchSlot, total)
 	var progress *progressBuffer
 	if o.Progress != nil {
 		progress = newProgressBuffer(o.Progress)
 	}
 
-	// runOne executes grid cell i = u*repeats + r into its slot.
+	// runOne executes flattened cell i into its slot.
 	runOne := func(i int) error {
-		u, r := i/repeats, i%repeats
-		cfg := base
+		b, j := i/per, i%per
+		u, r := j/repeats, j%repeats
+		cfg := prepared[b]
 		cfg.User = userProfile(u)
 		cfg.Seed = session.DeriveSeed(o.Seed, u, r)
 		var bus *obs.Bus
 		if o.Obs != nil && cfg.RC == session.RCFBCC {
 			// Private per-session bus (no cross-worker sharing), filtered
-			// to the fbcc.* kinds the episode analyzer consumes.
+			// to the fbcc.* kinds the episode analyzer consumes. The probe
+			// id is the within-batch grid index, as in single-batch runs.
 			bus = obs.NewBus(fbccKinds...)
-			cfg.Obs = bus.Probe(int32(i))
+			cfg.Obs = bus.Probe(int32(j))
 		}
 		res, err := session.Run(cfg)
 		if err != nil {
@@ -344,15 +379,15 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 		return nil
 	}
 
-	if workers := min(o.workers(), n); workers <= 1 {
+	if workers := min(o.workers(), total); workers <= 1 {
 		// Sequential path: identical scheduling to the pre-parallel engine.
-		for i := 0; i < n; i++ {
+		for i := 0; i < total; i++ {
 			if err := runOne(i); err != nil {
 				return nil, err
 			}
 		}
 	} else {
-		// Bounded pool: workers claim grid cells from an atomic cursor.
+		// Bounded pool: workers claim flattened cells from an atomic cursor.
 		var (
 			cursor  atomic.Int64
 			aborted atomic.Bool
@@ -365,7 +400,7 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 				defer wg.Done()
 				for {
 					i := int(cursor.Add(1))
-					if i >= n || aborted.Load() {
+					if i >= total || aborted.Load() {
 						return
 					}
 					if runOne(i) != nil {
@@ -378,28 +413,32 @@ func runBatch(o Options, base session.Config) (*sessionAgg, error) {
 		wg.Wait()
 	}
 
-	// Deterministic fold: (user, repeat) order regardless of completion
-	// order. Error selection is deterministic too — the lowest grid index
-	// wins, matching what the sequential path would have reported.
+	// Deterministic fold: flattened order regardless of completion order.
+	// Error selection is deterministic too — the lowest index wins,
+	// matching what the sequential path would have reported.
 	for i := range slots {
 		if slots[i].err != nil {
 			return nil, slots[i].err
 		}
 	}
-	agg := &sessionAgg{}
-	for i := range slots {
-		agg.fold(slots[i].res)
-	}
-	if o.Obs != nil && base.RC == session.RCFBCC {
-		// Episodes are folded in grid order (like everything else), so the
-		// experiment-level table is byte-identical at any worker count.
-		var eps []obs.Episode
-		for i := range slots {
-			eps = append(eps, slots[i].eps...)
+	aggs := make([]*sessionAgg, len(bases))
+	for b := range bases {
+		agg := &sessionAgg{}
+		for j := 0; j < per; j++ {
+			agg.fold(slots[b*per+j].res)
 		}
-		o.Obs.AddBatch(batchLabel(base), n, eps)
+		aggs[b] = agg
+		if o.Obs != nil && prepared[b].RC == session.RCFBCC {
+			// Episodes fold in grid order (like everything else), so the
+			// experiment-level table is byte-identical at any worker count.
+			var eps []obs.Episode
+			for j := 0; j < per; j++ {
+				eps = append(eps, slots[b*per+j].eps...)
+			}
+			o.Obs.AddBatch(batchLabel(prepared[b]), per, eps)
+		}
 	}
-	return agg, nil
+	return aggs, nil
 }
 
 // cdfSeries converts samples into an empirical CDF curve, downsampled to at

@@ -21,24 +21,29 @@ var ExtPrediction = Experiment{
 		rep := newReport()
 		tab := trace.New("ext-predict", "POI360 with and without the ~120 ms motion predictor (campus cell)",
 			"variant", "mean PSNR", "P10 PSNR", "mean mismatch M")
-		for _, v := range []struct {
+		variants := []struct {
 			name    string
 			predict bool
 		}{
 			{"no prediction", false},
 			{"with prediction", true},
-		} {
-			cfg := session.Config{
+		}
+		cfgs := make([]session.Config, len(variants))
+		for i, v := range variants {
+			cfgs[i] = session.Config{
 				Network:       session.Cellular,
 				Cell:          lte.ProfileCampus,
 				Scheme:        session.SchemeAdaptive,
 				RC:            session.RCGCC,
 				ROIPrediction: v.predict,
 			}
-			agg, err := runBatch(o, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			v := variants[i]
 			var mSum float64
 			for _, m := range agg.Mismatch {
 				mSum += m
@@ -83,24 +88,29 @@ var ExtEdgeRelay = Experiment{
 		rep := newReport()
 		tab := trace.New("ext-edge", "POI360 via the Internet core vs an edge relay (campus cell)",
 			"path", "mean PSNR", "mean mismatch M", "median delay")
-		for _, v := range []struct {
+		variants := []struct {
 			name string
 			path netsim.PathProfile
 		}{
 			{"internet core", netsim.CellularPath},
 			{"edge relay", EdgePath},
-		} {
-			cfg := session.Config{
+		}
+		cfgs := make([]session.Config, len(variants))
+		for i, v := range variants {
+			cfgs[i] = session.Config{
 				Network: session.Cellular,
 				Cell:    lte.ProfileCampus,
 				Scheme:  session.SchemeAdaptive,
 				RC:      session.RCGCC,
 				Path:    v.path,
 			}
-			agg, err := runBatch(o, cfg)
-			if err != nil {
-				return nil, err
-			}
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			v := variants[i]
 			var mSum float64
 			for _, m := range agg.Mismatch {
 				mSum += m

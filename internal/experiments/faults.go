@@ -27,19 +27,44 @@ var FaultsTable = Experiment{
 		tab := trace.New("faults", "Scripted disturbances, campus cell: FBCC with vs without the diag-staleness watchdog",
 			"scenario", "watchdog", "freeze ratio", "mean PSNR", "mean thrpt", "degr/sess", "stale fb/sess", "diag lost/sess")
 
-		addRow := func(scenario, label string, watchdog int, script faults.Script) error {
-			cfg := session.Config{
+		// Collect every (scenario, watchdog) row first, run them all through
+		// one shared worker pool, then build the table in row order.
+		type row struct {
+			scenario, label string
+		}
+		var (
+			rows []row
+			cfgs []session.Config
+		)
+		addRow := func(scenario, label string, watchdog int, script faults.Script) {
+			rows = append(rows, row{scenario, label})
+			cfgs = append(cfgs, session.Config{
 				Network:             session.Cellular,
 				Cell:                lte.ProfileCampus,
 				Scheme:              session.SchemeAdaptive,
 				RC:                  session.RCFBCC,
 				Faults:              script,
 				FBCCWatchdogReports: watchdog,
-			}
-			agg, err := runBatch(o, cfg)
+			})
+		}
+
+		// Clean baseline: no disturbances, watchdog armed (it must be
+		// inert on a healthy feed).
+		addRow("none", "on", 0, faults.Script{})
+		for _, name := range faults.ScenarioNames() {
+			script, err := faults.MakeScenario(name, o.sessionTime())
 			if err != nil {
-				return err
+				return nil, err
 			}
+			addRow(name, "on", 0, script)
+			addRow(name, "off", -1, script)
+		}
+		aggs, err := runBatches(o, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			scenario, label := rows[i].scenario, rows[i].label
 			sessions := float64(agg.Sessions)
 			tab.Add(scenario, label,
 				trace.Pct(agg.FreezeRatio()),
@@ -53,25 +78,6 @@ var FaultsTable = Experiment{
 			rep.Measured[key+"_psnr"] = agg.PSNR().Mean
 			rep.Measured[key+"_degr"] = float64(agg.Degradations) / sessions
 			rep.Measured[key+"_stale"] = float64(agg.StaleFeedback) / sessions
-			return nil
-		}
-
-		// Clean baseline: no disturbances, watchdog armed (it must be
-		// inert on a healthy feed).
-		if err := addRow("none", "on", 0, faults.Script{}); err != nil {
-			return nil, err
-		}
-		for _, name := range faults.ScenarioNames() {
-			script, err := faults.MakeScenario(name, o.sessionTime())
-			if err != nil {
-				return nil, err
-			}
-			if err := addRow(name, "on", 0, script); err != nil {
-				return nil, err
-			}
-			if err := addRow(name, "off", -1, script); err != nil {
-				return nil, err
-			}
 		}
 		tab.Note("watchdog: no diag report for 5×40 ms → unpin from Rphy, fall back to GCC, reset Eq. 3/4/7 state; 'off' reproduces the paper's prototype")
 		rep.Tables = append(rep.Tables, tab)

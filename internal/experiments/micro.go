@@ -165,40 +165,46 @@ var (
 
 // fbccGCCBatch runs the §6.1.2 comparison: the same adaptive-compression
 // session under FBCC and under GCC. Figs. 15/16a/16b derive from the same
-// runs, as in the paper, so batches are memoized per Options.
+// runs, as in the paper, so batches are memoized per Options; uncached
+// batches run through one shared worker pool (runBatches) so both
+// controllers' sessions interleave across every core.
 func fbccGCCBatch(o Options) (gcc, fbcc *sessionAgg, err error) {
-	one := func(rc session.RCKind) (*sessionAgg, error) {
-		key := rcKey{rc: rc, quick: o.Quick, seed: o.Seed, dur: o.sessionTime(), users: o.users(), repeats: o.repeats()}
-		rcMu.Lock()
-		if agg, ok := rcCache[key]; ok {
-			rcMu.Unlock()
-			return agg, nil
+	rcs := []session.RCKind{session.RCGCC, session.RCFBCC}
+	keys := make([]rcKey, len(rcs))
+	aggs := make([]*sessionAgg, len(rcs))
+	var (
+		todo  []int
+		bases []session.Config
+	)
+	rcMu.Lock()
+	for i, rc := range rcs {
+		keys[i] = rcKey{rc: rc, quick: o.Quick, seed: o.Seed, dur: o.sessionTime(), users: o.users(), repeats: o.repeats()}
+		if agg, ok := rcCache[keys[i]]; ok {
+			aggs[i] = agg
+			continue
 		}
-		rcMu.Unlock()
-		base := session.Config{
+		todo = append(todo, i)
+		bases = append(bases, session.Config{
 			Network: session.Cellular,
 			Cell:    lte.ProfileCampus,
 			Scheme:  session.SchemeAdaptive,
 			RC:      rc,
-		}
-		agg, err := runBatch(o, base)
+		})
+	}
+	rcMu.Unlock()
+	if len(todo) > 0 {
+		ran, err := runBatches(o, bases)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rcMu.Lock()
-		rcCache[key] = agg
+		for j, i := range todo {
+			aggs[i] = ran[j]
+			rcCache[keys[i]] = ran[j]
+		}
 		rcMu.Unlock()
-		return agg, nil
 	}
-	gcc, err = one(session.RCGCC)
-	if err != nil {
-		return nil, nil, err
-	}
-	fbcc, err = one(session.RCFBCC)
-	if err != nil {
-		return nil, nil, err
-	}
-	return gcc, fbcc, nil
+	return aggs[0], aggs[1], nil
 }
 
 // Fig15 reproduces Fig. 15: where FBCC and GCC sit on the buffer-level /

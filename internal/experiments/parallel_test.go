@@ -79,6 +79,42 @@ func TestParallelReportBytesIdentical(t *testing.T) {
 	}
 }
 
+// TestCrossBatchShardingEqualsSequential pins the cross-batch worker pool:
+// running several heterogeneous batches through one flattened runBatches
+// pool must produce, at any worker count, exactly the aggregates that
+// separate sequential runBatch calls produce, in input order.
+func TestCrossBatchShardingEqualsSequential(t *testing.T) {
+	bases := []session.Config{
+		{Network: session.Cellular, Cell: lte.ProfileCampus, Scheme: session.SchemeAdaptive, RC: session.RCGCC},
+		{Network: session.Cellular, Cell: lte.ProfileBusy, Scheme: session.SchemeAdaptive, RC: session.RCFBCC},
+		{Network: session.Cellular, Cell: lte.ProfileCampus, Scheme: session.SchemeAdaptive, RC: session.RCFBCC},
+	}
+	o := Options{Quick: true, Users: 2, Repeats: 2, SessionTime: 30 * time.Second, Seed: 17, Workers: 1}
+	want := make([]*sessionAgg, len(bases))
+	for i, base := range bases {
+		agg, err := runBatch(o, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = agg
+	}
+	for _, workers := range []int{1, 3, 8} {
+		o.Workers = workers
+		got, err := runBatches(o, bases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Workers=%d: got %d aggregates, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Fatalf("Workers=%d: batch %d aggregate differs from its sequential runBatch", workers, i)
+			}
+		}
+	}
+}
+
 // TestProgressOrderedUnderParallelWorkers: the -v per-session lines must
 // come out in (user, repeat) order and byte-identical to a sequential run,
 // no matter how the workers interleave.

@@ -7,16 +7,20 @@ import (
 	"poi360/internal/trace"
 )
 
-// systemBatch runs the full POI360 system (adaptive compression + FBCC)
-// under one cell condition — the §6.2 configuration.
-func systemBatch(o Options, cell lte.CellProfile) (*sessionAgg, error) {
-	base := session.Config{
-		Network: session.Cellular,
-		Cell:    cell,
-		Scheme:  session.SchemeAdaptive,
-		RC:      session.RCFBCC,
+// systemBatches runs the full POI360 system (adaptive compression + FBCC)
+// under several cell conditions — the §6.2 configuration — through one
+// shared worker pool, returning per-cell aggregates in input order.
+func systemBatches(o Options, cells []lte.CellProfile) ([]*sessionAgg, error) {
+	bases := make([]session.Config, len(cells))
+	for i, cell := range cells {
+		bases[i] = session.Config{
+			Network: session.Cellular,
+			Cell:    cell,
+			Scheme:  session.SchemeAdaptive,
+			RC:      session.RCFBCC,
+		}
 	}
-	return runBatch(o, base)
+	return runBatches(o, bases)
 }
 
 func systemRow(rep *Report, frTab, mosTab *trace.Table, label string, agg *sessionAgg) {
@@ -47,12 +51,16 @@ var Fig17ab = Experiment{
 			{"idle (early morning)", lte.ProfileStrongIdle},
 			{"busy (campus noon)", lte.ProfileBusy},
 		}
-		for _, c := range cells {
-			agg, err := systemBatch(o, c.cell)
-			if err != nil {
-				return nil, err
-			}
-			systemRow(rep, frTab, mosTab, c.label, agg)
+		profiles := make([]lte.CellProfile, len(cells))
+		for i, c := range cells {
+			profiles[i] = c.cell
+		}
+		aggs, err := systemBatches(o, profiles)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			systemRow(rep, frTab, mosTab, cells[i].label, agg)
 		}
 		rep.Tables = append(rep.Tables, frTab, mosTab)
 		return rep, nil
@@ -77,12 +85,16 @@ var Fig17cd = Experiment{
 			{"moderate (-82 dBm shadowed)", lte.ProfileModerate},
 			{"strong (-73 dBm open)", lte.ProfileStrongIdle},
 		}
-		for _, c := range cells {
-			agg, err := systemBatch(o, c.cell)
-			if err != nil {
-				return nil, err
-			}
-			systemRow(rep, frTab, mosTab, c.label, agg)
+		profiles := make([]lte.CellProfile, len(cells))
+		for i, c := range cells {
+			profiles[i] = c.cell
+		}
+		aggs, err := systemBatches(o, profiles)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			systemRow(rep, frTab, mosTab, cells[i].label, agg)
 		}
 		rep.Tables = append(rep.Tables, frTab, mosTab)
 		return rep, nil
@@ -109,12 +121,16 @@ var Fig17ef = Experiment{
 			{"30 mph urban", lte.CellProfile{RSSdBm: -82, BackgroundLoad: 0.2, SpeedMph: 30, Seed: 1}},
 			{"50 mph highway", lte.CellProfile{RSSdBm: -60, BackgroundLoad: 0.12, SpeedMph: 50, Seed: 1}},
 		}
-		for _, c := range cells {
-			agg, err := systemBatch(o, c.cell)
-			if err != nil {
-				return nil, err
-			}
-			systemRow(rep, frTab, mosTab, c.label, agg)
+		profiles := make([]lte.CellProfile, len(cells))
+		for i, c := range cells {
+			profiles[i] = c.cell
+		}
+		aggs, err := systemBatches(o, profiles)
+		if err != nil {
+			return nil, err
+		}
+		for i, agg := range aggs {
+			systemRow(rep, frTab, mosTab, cells[i].label, agg)
 		}
 		rep.Tables = append(rep.Tables, frTab, mosTab)
 		return rep, nil

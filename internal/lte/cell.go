@@ -139,6 +139,39 @@ type Cell struct {
 	order   []int // scratch: PF ranking of backlogged UEs per subframe
 	cap     capacityProcess
 	started bool
+
+	// soa holds the per-UE state the subframe loop touches every
+	// millisecond, as parallel arrays indexed by UE id (structure-of-
+	// arrays, DESIGN.md §14). The 30 000 subframes of a session then walk
+	// a handful of dense slices instead of chasing N *UE pointers; the UE
+	// struct keeps only the cold state (queue, config, counters).
+	soa cellSoA
+}
+
+// cellSoA is the per-cell structure-of-arrays of UE hot state.
+type cellSoA struct {
+	buf       []int     // firmware-buffer occupancy, bytes
+	knee      []float64 // UEConfig.BufferKneeBytes
+	diagSub   []int32   // subframes since the last diag report
+	diagEvery []int32   // diag period in subframes
+	diagTBS   []float64 // bits served since the last diag report
+	ewma      []float64 // PF served-rate EWMA, bits/s
+	pfMetric  []float64 // scratch: this subframe's PF metric
+	pfAchiev  []float64 // scratch: this subframe's buffer-aware rate
+	pfServed  []float64 // scratch: bits served this subframe
+}
+
+// add appends one UE's row.
+func (s *cellSoA) add(cfg UEConfig) {
+	s.buf = append(s.buf, 0)
+	s.knee = append(s.knee, cfg.BufferKneeBytes)
+	s.diagSub = append(s.diagSub, 0)
+	s.diagEvery = append(s.diagEvery, int32(cfg.DiagPeriod/Subframe))
+	s.diagTBS = append(s.diagTBS, 0)
+	s.ewma = append(s.ewma, 0)
+	s.pfMetric = append(s.pfMetric, 0)
+	s.pfAchiev = append(s.pfAchiev, 0)
+	s.pfServed = append(s.pfServed, 0)
 }
 
 // NewCell builds a cell on clk. Attach UEs with AddUE before Start.
@@ -178,6 +211,7 @@ func (c *Cell) AddUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
 		deliver: deliver,
 	}
 	c.ues = append(c.ues, u)
+	c.soa.add(cfg)
 	return u, nil
 }
 
@@ -188,6 +222,7 @@ func (c *Cell) AddUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
 func (c *Cell) addLegacyUE(cfg UEConfig, deliver func(Packet)) *UE {
 	u := &UE{cell: c, id: len(c.ues), cfg: cfg, rng: c.rng, deliver: deliver}
 	c.ues = append(c.ues, u)
+	c.soa.add(cfg)
 	return u
 }
 
@@ -216,17 +251,18 @@ func (c *Cell) CurrentCapacity() float64 { return c.cap.current }
 // population.
 func (c *Cell) subframe() {
 	c.cap.step(c.rng, Subframe)
-	for _, u := range c.ues {
-		u.diagSubframes++
+	diagSub := c.soa.diagSub
+	for i := range diagSub {
+		diagSub[i]++
 	}
 	if len(c.ues) == 1 {
 		c.stochasticGrant(c.ues[0])
 	} else if len(c.ues) > 1 {
 		c.pfGrant()
 	}
-	for _, u := range c.ues {
-		if u.diagSubframes >= int(u.cfg.DiagPeriod/Subframe) {
-			u.emitDiag()
+	for i, due := range c.soa.diagEvery {
+		if diagSub[i] >= due {
+			c.ues[i].emitDiag()
 		}
 	}
 }
@@ -240,15 +276,16 @@ func (c *Cell) subframe() {
 // Fig. 6's 40%-empty observation. Cell-internal contention is modeled by
 // the scalar BackgroundLoad of the capacity process.
 func (c *Cell) stochasticGrant(u *UE) {
-	if u.bufBytes == 0 {
+	buf := c.soa.buf[u.id]
+	if buf == 0 {
 		return
 	}
-	occupancy := float64(u.bufBytes) / u.cfg.BufferKneeBytes
+	occupancy := float64(buf) / u.cfg.BufferKneeBytes
 	if occupancy > 1 {
 		occupancy = 1
 	}
 	if u.rng.Float64() <= c.cfg.GrantProb*occupancy {
-		tbsBits := c.cap.current * Subframe.Seconds() / c.cfg.GrantProb
+		tbsBits := c.cap.current * subframeSec / c.cfg.GrantProb
 		tbsBits *= math.Max(0.1, 1+u.rng.NormFloat64()*u.cfg.TBSNoise)
 		u.serve(tbsBits)
 	}
@@ -268,21 +305,22 @@ func (c *Cell) stochasticGrant(u *UE) {
 // the same multiplicative noise as the legacy discipline.
 func (c *Cell) pfGrant() {
 	c.order = c.order[:0]
-	for i, u := range c.ues {
-		if u.bufBytes == 0 {
+	s := &c.soa
+	for i := range c.ues {
+		if s.buf[i] == 0 {
 			continue
 		}
-		occ := float64(u.bufBytes) / u.cfg.BufferKneeBytes
+		occ := float64(s.buf[i]) / s.knee[i]
 		if occ > 1 {
 			occ = 1
 		}
-		u.pfAchievable = c.cap.current * occ
-		u.pfMetric = u.pfAchievable / math.Max(u.ewmaRate, pfRateFloor)
+		s.pfAchiev[i] = c.cap.current * occ
+		s.pfMetric[i] = s.pfAchiev[i] / math.Max(s.ewma[i], pfRateFloor)
 		// Insertion sort by metric descending, UE id ascending on ties:
 		// populations are small (the per-cell UE count), and the stable
 		// deterministic order matters more than asymptotics.
 		pos := len(c.order)
-		for pos > 0 && c.ues[c.order[pos-1]].pfMetric < u.pfMetric {
+		for pos > 0 && s.pfMetric[c.order[pos-1]] < s.pfMetric[i] {
 			pos--
 		}
 		c.order = append(c.order, 0)
@@ -290,26 +328,26 @@ func (c *Cell) pfGrant() {
 		c.order[pos] = i
 	}
 
-	remaining := c.cap.current * Subframe.Seconds() // bits this subframe
+	remaining := c.cap.current * subframeSec // bits this subframe
 	for _, idx := range c.order {
 		if remaining <= 0 {
 			break
 		}
 		u := c.ues[idx]
-		want := u.pfAchievable * Subframe.Seconds()
+		want := s.pfAchiev[idx] * subframeSec
 		tbs := math.Min(want, remaining)
 		if tbs <= 0 {
 			continue
 		}
 		remaining -= tbs
 		tbs *= math.Max(0.1, 1+u.rng.NormFloat64()*u.cfg.TBSNoise)
-		u.pfServed = u.serve(tbs)
+		s.pfServed[idx] = u.serve(tbs)
 	}
 
 	alpha := float64(Subframe) / float64(c.cfg.PFWindow)
-	for _, u := range c.ues {
-		u.ewmaRate += alpha * (u.pfServed/Subframe.Seconds() - u.ewmaRate)
-		u.pfServed = 0
+	for i := range s.ewma {
+		s.ewma[i] += alpha * (s.pfServed[i]/subframeSec - s.ewma[i])
+		s.pfServed[i] = 0
 	}
 }
 
@@ -328,23 +366,15 @@ type UE struct {
 	// the live window; serve advances qhead instead of re-slicing the front
 	// away so the backing array is compacted and reused (see Enqueue)
 	// rather than abandoned to the allocator on every packet served.
+	// Occupancy in bytes lives in the cell's SoA (cell.soa.buf[id]), as do
+	// the diag accumulators and PF scheduler state the subframe loop reads.
 	queue      []Packet
 	qhead      int
-	headServed int // bytes of queue[qhead] already transmitted
-	bufBytes   int
+	headServed int     // bytes of queue[qhead] already transmitted
 	credit     float64 // fractional bytes of grant not yet applied
 	dropped    int64
 
-	// Diag accumulation.
-	diagTBS       float64
-	diagSubframes int
-	diagStalled   int64 // reports suppressed by a scripted DiagFault
-
-	// PF scheduler state.
-	ewmaRate     float64 // served-rate EWMA, bits/s
-	pfMetric     float64 // scratch: this subframe's PF metric
-	pfAchievable float64 // scratch: this subframe's buffer-aware rate
-	pfServed     float64 // scratch: bits served this subframe
+	diagStalled int64 // reports suppressed by a scripted DiagFault
 
 	// Running statistics.
 	totalServedBits float64
@@ -369,9 +399,10 @@ func (u *UE) SetDiagListener(fn func(DiagReport)) { u.onDiag = fn }
 // Enqueue appends a packet to the firmware buffer. It reports false (and
 // counts a drop) when the modem queue cap would be exceeded.
 func (u *UE) Enqueue(p Packet) bool {
-	if u.bufBytes+p.Bytes > u.cfg.BufferCapBytes {
+	buf := &u.cell.soa.buf[u.id]
+	if *buf+p.Bytes > u.cfg.BufferCapBytes {
 		u.dropped++
-		u.probe.Emit(u.cell.clk.Now(), obs.LTEDrop, float64(p.Bytes), float64(u.bufBytes), 0, 0)
+		u.probe.Emit(u.cell.clk.Now(), obs.LTEDrop, float64(p.Bytes), float64(*buf), 0, 0)
 		return false
 	}
 	p.Enq = u.cell.clk.Now()
@@ -383,12 +414,12 @@ func (u *UE) Enqueue(p Packet) bool {
 		u.qhead = 0
 	}
 	u.queue = append(u.queue, p)
-	u.bufBytes += p.Bytes
+	*buf += p.Bytes
 	return true
 }
 
 // BufferBytes reports the instantaneous firmware-buffer occupancy.
-func (u *UE) BufferBytes() int { return u.bufBytes }
+func (u *UE) BufferBytes() int { return u.cell.soa.buf[u.id] }
 
 // Dropped reports packets rejected at the modem queue cap.
 func (u *UE) Dropped() int64 { return u.dropped }
@@ -398,7 +429,7 @@ func (u *UE) TotalServedBits() float64 { return u.totalServedBits }
 
 // ServedRate reports the PF scheduler's EWMA of this UE's served rate in
 // bits/s (zero until the cell runs a multi-UE allocation).
-func (u *UE) ServedRate() float64 { return u.ewmaRate }
+func (u *UE) ServedRate() float64 { return u.cell.soa.ewma[u.id] }
 
 // DiagStalled reports how many diagnostic reports a scripted DiagFault has
 // suppressed so far.
@@ -429,17 +460,20 @@ func (u *UE) serve(tbsBits float64) float64 {
 		return 0
 	}
 	u.credit -= float64(bytes)
-	if bytes > u.bufBytes {
-		bytes = u.bufBytes
+	s := &u.cell.soa
+	buf := s.buf[u.id]
+	if bytes > buf {
+		bytes = buf
 	}
 	served := float64(bytes) * 8
-	u.diagTBS += served
+	s.diagTBS[u.id] += served
 	u.totalServedBits += served
-	u.bufBytes -= bytes
+	buf -= bytes
+	s.buf[u.id] = buf
 	// Telemetry: one event per actual grant service — served bits, the
 	// buffer left behind, and the PF metric that won the subframe (0 under
 	// the legacy single-UE stochastic discipline).
-	u.probe.Emit(u.cell.clk.Now(), obs.LTEGrant, served, float64(u.bufBytes), u.pfMetric, 0)
+	u.probe.Emit(u.cell.clk.Now(), obs.LTEGrant, served, float64(buf), s.pfMetric[u.id], 0)
 	for bytes > 0 && u.qhead < len(u.queue) {
 		head := &u.queue[u.qhead]
 		remaining := head.Bytes - u.headServed
@@ -466,21 +500,22 @@ func (u *UE) serve(tbsBits float64) float64 {
 	// models sub-byte remainders of grants actually spent on queued data,
 	// and carrying it across an idle gap would inflate the first grant of
 	// the next busy period with bytes from a grant long expired.
-	if u.bufBytes == 0 {
+	if buf == 0 {
 		u.credit = 0
 	}
 	return served
 }
 
 func (u *UE) emitDiag() {
+	s := &u.cell.soa
 	rep := DiagReport{
 		At:          u.cell.clk.Now(),
-		BufferBytes: u.bufBytes,
-		SumTBSBits:  u.diagTBS,
-		Subframes:   u.diagSubframes,
+		BufferBytes: s.buf[u.id],
+		SumTBSBits:  s.diagTBS[u.id],
+		Subframes:   int(s.diagSub[u.id]),
 	}
-	u.diagTBS = 0
-	u.diagSubframes = 0
+	s.diagTBS[u.id] = 0
+	s.diagSub[u.id] = 0
 	stalled := u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At)
 	if u.probe != nil {
 		flag := 0.0

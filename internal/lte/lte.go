@@ -24,6 +24,10 @@ import (
 // Subframe is the LTE uplink scheduling granularity.
 const Subframe = time.Millisecond
 
+// subframeSec is Subframe.Seconds() hoisted off the per-subframe hot path
+// (the method call is not constant-folded by the compiler).
+var subframeSec = Subframe.Seconds()
+
 // DefaultDiagPeriod is the report cadence of the phone chipset's diagnostic
 // interface observed by the paper's prototype (§4.3.2: 40 ms).
 const DefaultDiagPeriod = 40 * time.Millisecond
@@ -258,6 +262,19 @@ type capacityProcess struct {
 	speedMph float64
 	now      time.Duration
 
+	// sigma is the load diffusion coefficient, fixed by the profile.
+	sigma float64
+	// Per-dt hoisted terms, valid while dt == lastDt (the subframe loop
+	// always steps by 1 ms, so these are computed once per cell). Each is
+	// the exact product the step formulas used inline, so trajectories are
+	// bit-identical.
+	lastDt        time.Duration
+	sec           float64 // dt.Seconds()
+	diffC         float64 // sigma * sqrt(sec)
+	burstRateSec  float64 // (0.02 + 0.25*loadTarget) * sec
+	fadeRateSec   float64 // (0.06 * speedMph / 15) * sec
+	outageRateSec float64 // (0.004 * speedMph / 30) * sec
+
 	// fault, when non-nil, is the scripted capacity multiplier (handover
 	// outages and capacity steps from internal/faults).
 	fault func(now time.Duration) float64
@@ -269,6 +286,8 @@ func (cp *capacityProcess) init(p CellProfile) {
 	cp.loadState = p.BackgroundLoad
 	cp.speedMph = p.SpeedMph
 	cp.fadeFactor = 1
+	cp.sigma = 0.25 * math.Sqrt(math.Max(cp.loadTarget, 0.02))
+	cp.lastDt = -1
 	cp.recompute()
 }
 
@@ -302,12 +321,22 @@ func (cp *capacityProcess) recompute() {
 
 func (cp *capacityProcess) step(rng *rand.Rand, dt time.Duration) {
 	cp.now += dt
-	sec := dt.Seconds()
+	if dt != cp.lastDt {
+		// Hoist the dt-dependent coefficients; the groupings match the
+		// inline expressions they replace, keeping trajectories
+		// bit-identical.
+		cp.lastDt = dt
+		cp.sec = dt.Seconds()
+		cp.diffC = cp.sigma * math.Sqrt(cp.sec)
+		cp.burstRateSec = (0.02 + 0.25*cp.loadTarget) * cp.sec
+		cp.fadeRateSec = (0.06 * cp.speedMph / 15) * cp.sec
+		cp.outageRateSec = (0.004 * cp.speedMph / 30) * cp.sec
+	}
+	sec := cp.sec
 
 	// Background load mean-reverts with diffusion proportional to load.
 	theta := 0.5 // 1/s mean reversion
-	sigma := 0.25 * math.Sqrt(math.Max(cp.loadTarget, 0.02))
-	cp.loadState += theta*(cp.loadTarget-cp.loadState)*sec + sigma*math.Sqrt(sec)*rng.NormFloat64()
+	cp.loadState += theta*(cp.loadTarget-cp.loadState)*sec + cp.diffC*rng.NormFloat64()
 	if cp.loadState < 0 {
 		cp.loadState = 0
 	}
@@ -317,8 +346,7 @@ func (cp *capacityProcess) step(rng *rand.Rand, dt time.Duration) {
 
 	// Busy-cell bursts: other users' uploads briefly grabbing the cell.
 	if cp.now >= cp.burstUntil {
-		rate := 0.02 + 0.25*cp.loadTarget // events per second
-		if rng.Float64() < rate*sec {
+		if rng.Float64() < cp.burstRateSec {
 			cp.burstLoad = 0.45 + rng.Float64()*0.3
 			cp.burstUntil = cp.now + time.Duration((0.15+rng.ExpFloat64()*0.5)*float64(time.Second))
 		}
@@ -326,8 +354,7 @@ func (cp *capacityProcess) step(rng *rand.Rand, dt time.Duration) {
 
 	// Mobility fades: deeper and more frequent at speed.
 	if cp.speedMph > 0 && cp.now >= cp.fadeUntil {
-		rate := 0.06 * cp.speedMph / 15 // events per second
-		if rng.Float64() < rate*sec {
+		if rng.Float64() < cp.fadeRateSec {
 			depth := 0.25 + rng.Float64()*0.45
 			cp.fadeFactor = depth
 			cp.fadeUntil = cp.now + time.Duration((0.1+rng.ExpFloat64()*0.5)*float64(time.Second))
@@ -336,8 +363,7 @@ func (cp *capacityProcess) step(rng *rand.Rand, dt time.Duration) {
 
 	// Handover-like outages under vehicular mobility.
 	if cp.speedMph >= 25 && cp.now >= cp.outageUntil {
-		rate := 0.004 * cp.speedMph / 30 // ≈ one per 40–80 s
-		if rng.Float64() < rate*sec {
+		if rng.Float64() < cp.outageRateSec {
 			cp.outageUntil = cp.now + time.Duration((0.3+rng.ExpFloat64()*0.6)*float64(time.Second))
 		}
 	}

@@ -34,7 +34,10 @@ type DelayLink struct {
 	spikeProb float64
 	spikeMax  time.Duration
 	deliver   func(any)
-	lastOut   time.Duration
+	// code is the link's typed event code: delivery events carry only
+	// (code, payload), not a function value (simclock "typed event codes").
+	code    simclock.Code
+	lastOut time.Duration
 
 	fault   LinkFault
 	dropped int64 // messages removed by the fault hook
@@ -50,6 +53,9 @@ func (l *DelayLink) SetProbe(p *obs.Probe) { l.probe = p }
 // NewDelayLink creates a link with the given delay distribution; deliver is
 // invoked on the simulation goroutine when a message arrives.
 func NewDelayLink(clk *simclock.Clock, seed int64, base, jitterStd time.Duration, spikeProb float64, spikeMax time.Duration, deliver func(any)) *DelayLink {
+	if deliver == nil {
+		deliver = func(any) {}
+	}
 	return &DelayLink{
 		clk:       clk,
 		rng:       rand.New(rand.NewSource(seed)),
@@ -58,6 +64,7 @@ func NewDelayLink(clk *simclock.Clock, seed int64, base, jitterStd time.Duration
 		spikeProb: spikeProb,
 		spikeMax:  spikeMax,
 		deliver:   deliver,
+		code:      clk.NewCode(deliver),
 	}
 }
 
@@ -106,9 +113,9 @@ func (l *DelayLink) Send(payload any) {
 			out = l.lastOut // FIFO: no overtaking
 		}
 		l.lastOut = out
-		// SchedulePayload carries the delivery in the recycled event slot:
-		// no closure allocation on the per-packet path.
-		l.clk.SchedulePayload(out, l.deliver, payload)
+		// The typed event code carries the delivery in the recycled event
+		// slot: no closure or function value on the per-packet path.
+		l.clk.ScheduleCode(out, l.code, payload)
 	}
 }
 
@@ -123,8 +130,21 @@ type Queue struct {
 	bytes     int
 	dropped   int64
 
+	// code is the queue's typed drain event. Completion times are
+	// monotonic (busyUntil never decreases), so coded events fire in FIFO
+	// order and each one pops the head of pend — no per-packet closure.
+	code  simclock.Code
+	pend  []queued
+	phead int
+
 	// probe, when non-nil, receives net.queue.drop telemetry.
 	probe *obs.Probe
+}
+
+// queued is one in-flight message of a Queue's fluid model.
+type queued struct {
+	bytes   int
+	payload any
 }
 
 // SetProbe installs the queue's telemetry probe (nil disables).
@@ -135,7 +155,24 @@ func NewQueue(clk *simclock.Clock, rateBps float64, capBytes int, deliver func(a
 	if rateBps <= 0 || capBytes <= 0 {
 		panic(fmt.Sprintf("netsim: invalid queue rate=%g cap=%d", rateBps, capBytes))
 	}
-	return &Queue{clk: clk, rateBps: rateBps, capBytes: capBytes, deliver: deliver}
+	q := &Queue{clk: clk, rateBps: rateBps, capBytes: capBytes, deliver: deliver}
+	q.code = clk.NewCode(q.drain)
+	return q
+}
+
+// drain completes transmission of the head-of-line message.
+func (q *Queue) drain(any) {
+	e := q.pend[q.phead]
+	q.pend[q.phead] = queued{}
+	q.phead++
+	if q.phead == len(q.pend) {
+		q.pend = q.pend[:0]
+		q.phead = 0
+	}
+	q.bytes -= e.bytes
+	if q.deliver != nil {
+		q.deliver(e.payload)
+	}
 }
 
 // Send enqueues a message of the given wire size; it reports false when the
@@ -153,12 +190,8 @@ func (q *Queue) Send(bytes int, payload any) bool {
 	}
 	finish := start + time.Duration(float64(bytes)*8/q.rateBps*float64(time.Second))
 	q.busyUntil = finish
-	q.clk.Schedule(finish, func() {
-		q.bytes -= bytes
-		if q.deliver != nil {
-			q.deliver(payload)
-		}
-	})
+	q.pend = append(q.pend, queued{bytes: bytes, payload: payload})
+	q.clk.ScheduleCode(finish, q.code, nil)
 	return true
 }
 

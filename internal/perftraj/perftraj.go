@@ -1,0 +1,332 @@
+// Package perftraj measures and gates the repository's headline engine
+// metric: simulated seconds per wall-clock second. It defines a fixed set
+// of benchmark scenarios (full telephony sessions at committed seeds),
+// measures them with min-of-N wall timing plus allocation accounting, and
+// serialises the result as a small versioned JSON snapshot that lives in
+// git next to the code it describes.
+//
+// Two snapshots are comparable across machines because every snapshot also
+// records a calibration number: the wall time of a fixed pure-CPU workload
+// on the machine that produced it. Compare gates on the calibrated ratio
+// ns-per-op / calib-ns, so a slow CI runner does not read as a regression
+// and a fast one does not hide a real slowdown. Allocation metrics
+// (bytes/op, allocs/op) are machine-independent — the engine is
+// deterministic — and carry a much tighter tolerance.
+package perftraj
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"poi360/internal/headmotion"
+	"poi360/internal/lte"
+	"poi360/internal/session"
+)
+
+// SnapshotVersion is bumped whenever the schema or the scenario set
+// changes incompatibly; Read rejects snapshots from another version so a
+// stale baseline fails loudly instead of gating against the wrong data.
+const SnapshotVersion = 1
+
+// Scenario is one benchmark workload: a deterministic engine run of a
+// known simulated length.
+type Scenario struct {
+	Name string
+	// SimSeconds is the simulated duration one Run covers, the numerator
+	// of the sim-per-wall headline ratio.
+	SimSeconds float64
+	// Run executes the workload once. It must be a pure function of its
+	// closed-over config (fixed seed) so repeated runs are identical.
+	Run func() error
+}
+
+// Scenarios returns the committed benchmark set. Order is stable; names
+// are the identity Compare matches baseline to current by.
+func Scenarios() []Scenario {
+	const simSecs = 30
+	return []Scenario{
+		{
+			Name:       "busy-cell-fbcc-30s",
+			SimSeconds: simSecs,
+			Run: func() error {
+				_, err := session.Run(session.Config{
+					Duration: simSecs * time.Second,
+					Network:  session.Cellular,
+					Cell:     lte.ProfileBusy,
+					Scheme:   session.SchemeAdaptive,
+					RC:       session.RCFBCC,
+					User:     headmotion.Users[0],
+					Seed:     1,
+				})
+				return err
+			},
+		},
+		{
+			Name: "shared-cell-8ue-30s",
+			// One scenario wall-clock run simulates 30 s for the whole
+			// cell; the headline ratio counts cell-seconds, not the sum
+			// over UEs, so it stays comparable with the single-UE row.
+			SimSeconds: simSecs,
+			Run: func() error {
+				mc := session.MultiConfig{
+					Duration: simSecs * time.Second,
+					Cell:     lte.ProfileCampus,
+					Seed:     1,
+				}
+				for i := 0; i < 8; i++ {
+					rc := session.RCFBCC
+					if i%2 == 1 {
+						rc = session.RCGCC
+					}
+					mc.Sessions = append(mc.Sessions, session.Config{
+						Scheme: session.SchemeAdaptive,
+						RC:     rc,
+						User:   headmotion.Users[i%len(headmotion.Users)],
+					})
+				}
+				_, err := session.RunShared(mc)
+				return err
+			},
+		},
+	}
+}
+
+// Result is one scenario's measurement inside a snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// NormTime is the scenario's machine-portable time: the minimum over
+	// reps of (scenario wall ns ÷ the calibration run paired with that
+	// rep). Pairing each rep with its own adjacent calibration means
+	// sustained background load on a shared machine slows numerator and
+	// denominator together instead of reading as a regression.
+	NormTime float64 `json:"norm_time"`
+	// SimPerWall is SimSeconds divided by the wall time of one op — the
+	// headline "simulated seconds per wall second" for this scenario.
+	SimPerWall float64 `json:"sim_per_wall"`
+}
+
+// Snapshot is the machine-readable perf-trajectory record.
+type Snapshot struct {
+	Version   int      `json:"version"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CalibNs   int64    `json:"calib_ns"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// calibrateOnce times one pass of a fixed pure-CPU workload (an xorshift64
+// stream). The workload touches no memory and no engine code, so its
+// runtime tracks single-core CPU speed — and whatever background load is
+// stealing cycles at this instant, which is exactly what per-rep pairing
+// exploits.
+func calibrateOnce() int64 {
+	x := uint64(2463534242)
+	t0 := time.Now()
+	for i := 0; i < 1<<23; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	dt := time.Since(t0).Nanoseconds()
+	if x == 0 { // keep the loop from being optimised away
+		return 1
+	}
+	if dt < 1 {
+		return 1
+	}
+	return dt
+}
+
+// calibrate returns the minimum single-pass calibration time over reps.
+func calibrate(reps int) int64 {
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		if dt := calibrateOnce(); best == 0 || dt < best {
+			best = dt
+		}
+	}
+	return best
+}
+
+// MeasureScenarios runs each scenario reps times and records the minimum
+// wall time (the least-noisy estimator for a deterministic workload) plus
+// the allocation deltas of the final rep. reps < 1 is treated as 1.
+func MeasureScenarios(scens []Scenario, reps int) (Snapshot, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	// Calibration runs more reps than the scenarios: it is cheap (~40 ms
+	// each) and it sits in the denominator of every gated time, so noise
+	// there taxes all scenarios at once.
+	calibReps := reps + 4
+	snap := Snapshot{
+		Version:   SnapshotVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CalibNs:   calibrate(calibReps),
+	}
+	// A fixed rep count under-samples long scenarios: the min estimator
+	// needs enough draws to shed scheduler noise, and a 45 ms scenario at
+	// 5 reps gets far fewer chances at a clean slot than a 6 ms one. Each
+	// scenario therefore keeps sampling until it has both its requested
+	// reps and ~1.2 s of accumulated measurement (capped at 50 reps).
+	const (
+		minSampleNs = int64(1_200_000_000)
+		maxReps     = 50
+	)
+	var ms0, ms1 runtime.MemStats
+	for _, sc := range scens {
+		res := Result{Name: sc.Name, SimSeconds: sc.SimSeconds}
+		var sampledNs int64
+		for r := 0; (r < reps || sampledNs < minSampleNs) && r < maxReps; r++ {
+			runtime.GC()
+			// Pair this rep with its own calibration pass, run
+			// immediately before it: the per-rep ratio is immune to
+			// sustained background load, and the minimum ratio over
+			// reps sheds transient spikes that hit only one side.
+			calib := calibrateOnce()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			if err := sc.Run(); err != nil {
+				return Snapshot{}, fmt.Errorf("perftraj: scenario %s: %w", sc.Name, err)
+			}
+			dt := time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			sampledNs += dt
+			if res.NsPerOp == 0 || dt < res.NsPerOp {
+				res.NsPerOp = dt
+			}
+			if ratio := float64(dt) / float64(calib); res.NormTime == 0 || ratio < res.NormTime {
+				res.NormTime = ratio
+			}
+			// The engine is deterministic, so allocation counts are the
+			// same every rep; taking the last rep avoids warm-up noise
+			// from lazy runtime initialisation on the first.
+			res.BytesPerOp = int64(ms1.TotalAlloc - ms0.TotalAlloc)
+			res.AllocsPerOp = int64(ms1.Mallocs - ms0.Mallocs)
+		}
+		if res.NsPerOp > 0 {
+			res.SimPerWall = res.SimSeconds / (float64(res.NsPerOp) * 1e-9)
+		}
+		snap.Scenarios = append(snap.Scenarios, res)
+	}
+	return snap, nil
+}
+
+// Measure runs the committed scenario set.
+func Measure(reps int) (Snapshot, error) {
+	return MeasureScenarios(Scenarios(), reps)
+}
+
+// Write serialises the snapshot as indented JSON (stable field order,
+// trailing newline) so diffs of committed baselines stay readable.
+func Write(path string, s Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Read loads a snapshot and rejects schema-version mismatches.
+func Read(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("perftraj: %s: %w", path, err)
+	}
+	if s.Version != SnapshotVersion {
+		return Snapshot{}, fmt.Errorf("perftraj: %s is snapshot version %d, this binary expects %d (regenerate the baseline)",
+			path, s.Version, SnapshotVersion)
+	}
+	return s, nil
+}
+
+// Tolerance holds the gate's relative regression bands.
+type Tolerance struct {
+	// Time is the allowed relative growth of calibrated ns/op
+	// (ns_per_op / calib_ns). 0.10 = fail beyond +10%.
+	Time float64
+	// Alloc is the allowed relative growth of bytes/op and allocs/op.
+	Alloc float64
+}
+
+// DefaultTolerance is the CI gate band: 10% on calibrated time (wall noise
+// plus cross-machine residue after calibration), 5% on allocations (which
+// are deterministic; the slack covers runtime-version differences).
+var DefaultTolerance = Tolerance{Time: 0.10, Alloc: 0.05}
+
+// Compare gates current against baseline and returns one human-readable
+// line per regression; an empty slice means the gate passes. Improvements
+// never fail the gate — they are the point of the trajectory. A scenario
+// present in the baseline but missing from current is a failure (the gate
+// must not silently narrow).
+func Compare(baseline, current Snapshot, tol Tolerance) []string {
+	var regressions []string
+	cur := make(map[string]Result, len(current.Scenarios))
+	for _, r := range current.Scenarios {
+		cur[r.Name] = r
+	}
+	for _, b := range baseline.Scenarios {
+		c, ok := cur[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: scenario missing from current snapshot", b.Name))
+			continue
+		}
+		bNorm := normTime(b, baseline.CalibNs)
+		cNorm := normTime(c, current.CalibNs)
+		if bNorm > 0 && cNorm > bNorm*(1+tol.Time) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: calibrated time %.3f vs baseline %.3f (+%.1f%%, tolerance %.0f%%)",
+				b.Name, cNorm, bNorm, 100*(cNorm/bNorm-1), 100*tol.Time))
+		}
+		if b.BytesPerOp > 0 && float64(c.BytesPerOp) > float64(b.BytesPerOp)*(1+tol.Alloc) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d B/op vs baseline %d (+%.1f%%, tolerance %.0f%%)",
+				b.Name, c.BytesPerOp, b.BytesPerOp, 100*(float64(c.BytesPerOp)/float64(b.BytesPerOp)-1), 100*tol.Alloc))
+		}
+		if b.AllocsPerOp > 0 && float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol.Alloc) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (+%.1f%%, tolerance %.0f%%)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, 100*(float64(c.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tol.Alloc))
+		}
+	}
+	return regressions
+}
+
+// normTime is a scenario's wall time in calibration units — the
+// machine-portable time metric the gate compares. Snapshots written by
+// this package carry the per-rep-paired NormTime; the fallbacks cover
+// hand-built snapshots in tests.
+func normTime(r Result, calibNs int64) float64 {
+	if r.NormTime > 0 {
+		return r.NormTime
+	}
+	if calibNs <= 0 {
+		return float64(r.NsPerOp)
+	}
+	return float64(r.NsPerOp) / float64(calibNs)
+}
+
+// Fprint renders the snapshot as a fixed-width table for CLI output.
+func Fprint(w interface{ Write([]byte) (int, error) }, s Snapshot) {
+	fmt.Fprintf(w, "perf trajectory (%s %s/%s, calib %.0f ms)\n",
+		s.GoVersion, s.GOOS, s.GOARCH, float64(s.CalibNs)/1e6)
+	fmt.Fprintf(w, "%-24s %12s %14s %12s %12s\n", "scenario", "sim/wall", "ns/op", "B/op", "allocs/op")
+	for _, r := range s.Scenarios {
+		fmt.Fprintf(w, "%-24s %11.1fx %14d %12d %12d\n",
+			r.Name, r.SimPerWall, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}

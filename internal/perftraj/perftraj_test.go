@@ -1,0 +1,165 @@
+package perftraj
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeScenario is a cheap deterministic workload so measurement-machinery
+// tests don't pay for real engine sessions.
+func fakeScenario(name string) Scenario {
+	return Scenario{
+		Name:       name,
+		SimSeconds: 30,
+		Run: func() error {
+			buf := make([]byte, 1<<16)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			sink = buf
+			return nil
+		},
+	}
+}
+
+var sink []byte
+
+func TestMeasureScenariosPopulatesEveryField(t *testing.T) {
+	snap, err := MeasureScenarios([]Scenario{fakeScenario("fake")}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("version = %d, want %d", snap.Version, SnapshotVersion)
+	}
+	if snap.CalibNs <= 0 {
+		t.Fatalf("calib_ns = %d, want > 0", snap.CalibNs)
+	}
+	if len(snap.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(snap.Scenarios))
+	}
+	r := snap.Scenarios[0]
+	if r.Name != "fake" || r.SimSeconds != 30 {
+		t.Fatalf("scenario identity mangled: %+v", r)
+	}
+	if r.NsPerOp <= 0 || r.SimPerWall <= 0 || r.NormTime <= 0 {
+		t.Fatalf("timing not measured: %+v", r)
+	}
+	if r.AllocsPerOp <= 0 || r.BytesPerOp < 1<<16 {
+		t.Fatalf("allocations not measured: %+v", r)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	want := Snapshot{
+		Version: SnapshotVersion, GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64",
+		CalibNs: 42,
+		Scenarios: []Result{
+			{Name: "a", SimSeconds: 30, NsPerOp: 100, BytesPerOp: 10, AllocsPerOp: 3, SimPerWall: 5},
+		},
+	}
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CalibNs != want.CalibNs || len(got.Scenarios) != 1 || got.Scenarios[0] != want.Scenarios[0] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	s := Snapshot{Version: SnapshotVersion + 1}
+	if err := Write(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted a snapshot from another schema version")
+	}
+}
+
+func baseSnap() Snapshot {
+	return Snapshot{
+		Version: SnapshotVersion, CalibNs: 1000,
+		Scenarios: []Result{
+			{Name: "s", SimSeconds: 30, NsPerOp: 100_000, BytesPerOp: 1000, AllocsPerOp: 100},
+		},
+	}
+}
+
+func TestCompareWithinToleranceAndImprovementsPass(t *testing.T) {
+	b := baseSnap()
+	c := baseSnap()
+	c.Scenarios[0].NsPerOp = 105_000 // +5% < 10% band
+	c.Scenarios[0].BytesPerOp = 960  // improvement
+	c.Scenarios[0].AllocsPerOp = 104 // +4% < 5% band
+	if regs := Compare(b, c, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsTimeRegression(t *testing.T) {
+	b := baseSnap()
+	c := baseSnap()
+	c.Scenarios[0].NsPerOp = 120_000 // +20% raw and calibrated
+	regs := Compare(b, c, DefaultTolerance)
+	if len(regs) != 1 || !strings.Contains(regs[0], "calibrated time") {
+		t.Fatalf("want one calibrated-time regression, got %v", regs)
+	}
+}
+
+func TestCompareCalibrationNormalisesMachineSpeed(t *testing.T) {
+	b := baseSnap()
+	c := baseSnap()
+	// The current machine is 2x slower: both the workload and the
+	// calibration loop doubled. Calibrated time is unchanged → pass.
+	c.CalibNs = 2000
+	c.Scenarios[0].NsPerOp = 200_000
+	if regs := Compare(b, c, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("calibration failed to absorb machine speed: %v", regs)
+	}
+	// Same machine speed, genuinely slower code → fail.
+	c.CalibNs = 1000
+	if regs := Compare(b, c, DefaultTolerance); len(regs) != 1 {
+		t.Fatalf("real 2x slowdown not flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegressionsAndMissingScenario(t *testing.T) {
+	b := baseSnap()
+	b.Scenarios = append(b.Scenarios, Result{Name: "gone", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1})
+	c := baseSnap()
+	c.Scenarios[0].BytesPerOp = 1100 // +10% > 5%
+	c.Scenarios[0].AllocsPerOp = 120 // +20% > 5%
+	regs := Compare(b, c, DefaultTolerance)
+	if len(regs) != 3 {
+		t.Fatalf("want B/op + allocs/op + missing-scenario = 3 regressions, got %v", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"B/op", "allocs/op", "missing"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("regressions %v missing %q", regs, want)
+		}
+	}
+}
+
+// TestCommittedScenariosRun executes the real benchmark scenarios once
+// (skipped under -short: two full 30 s-sim sessions).
+func TestCommittedScenariosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine scenarios; skipped in -short mode")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if err := sc.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package projection
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Grid describes the tile layout of an equirectangular 360° frame.
@@ -195,4 +196,131 @@ func (g Grid) AreaWeight(j int) float64 {
 	lo := (90 - float64(j+1)*180/float64(g.H)) * math.Pi / 180
 	band := (math.Sin(hi) - math.Sin(lo)) / 2 // fraction of sphere in the row
 	return band / float64(g.W)
+}
+
+// Geometry memoizes the per-grid trigonometry of tile centers: area weights,
+// center yaw/pitch per column/row, and the sines and cosines the spherical
+// law of cosines needs. Tile centers never move, but the per-frame hot
+// paths (content weighting, FoV coverage, ROI-PSNR) evaluated them with
+// fresh Sin/Cos/Mod calls on every tile of every frame. Every table entry
+// is produced by exactly the expression the inline code used, so consumers
+// are bit-identical. Obtain one with GeomFor.
+type Geometry struct {
+	g Grid
+	// CenterYaw[i] / CenterPitch[j] are the tile-center angles in degrees,
+	// exactly as Grid.Center returns them.
+	CenterYaw   []float64
+	CenterPitch []float64
+	// AreaW[j] is Grid.AreaWeight(j).
+	AreaW []float64
+	// yawRad[i], sinPitch[j], cosPitch[j] feed TileAngularDistance.
+	yawRad   []float64
+	sinPitch []float64
+	cosPitch []float64
+}
+
+var (
+	geomMu    sync.RWMutex
+	geomCache = map[Grid]*Geometry{}
+)
+
+// GeomFor returns the memoized Geometry of g (building it on first use).
+// Safe for concurrent use; sessions running on different goroutines share
+// the read-only tables.
+func GeomFor(g Grid) *Geometry {
+	geomMu.RLock()
+	ge := geomCache[g]
+	geomMu.RUnlock()
+	if ge != nil {
+		return ge
+	}
+	geomMu.Lock()
+	defer geomMu.Unlock()
+	if ge = geomCache[g]; ge != nil {
+		return ge
+	}
+	ge = &Geometry{
+		g:           g,
+		CenterYaw:   make([]float64, g.W),
+		CenterPitch: make([]float64, g.H),
+		AreaW:       make([]float64, g.H),
+		yawRad:      make([]float64, g.W),
+		sinPitch:    make([]float64, g.H),
+		cosPitch:    make([]float64, g.H),
+	}
+	for i := 0; i < g.W; i++ {
+		c := g.Center(Tile{I: i, J: 0})
+		ge.CenterYaw[i] = c.Yaw
+		ge.yawRad[i] = c.Yaw * math.Pi / 180
+	}
+	for j := 0; j < g.H; j++ {
+		c := g.Center(Tile{I: 0, J: j})
+		ge.CenterPitch[j] = c.Pitch
+		ge.AreaW[j] = g.AreaWeight(j)
+		p := c.Pitch * math.Pi / 180
+		ge.sinPitch[j] = math.Sin(p)
+		ge.cosPitch[j] = math.Cos(p)
+	}
+	geomCache[g] = ge
+	return ge
+}
+
+// Grid returns the grid this geometry describes.
+func (ge *Geometry) Grid() Grid { return ge.g }
+
+// OrientationTrig precomputes the viewer-side terms of the spherical law of
+// cosines for TileAngularDistance: the normalized orientation's yaw in
+// radians and the sine/cosine of its pitch.
+func OrientationTrig(o Orientation) (byRad, sinBp, cosBp float64) {
+	b := o.Normalized()
+	byRad = b.Yaw * math.Pi / 180
+	bp := b.Pitch * math.Pi / 180
+	return byRad, math.Sin(bp), math.Cos(bp)
+}
+
+// TileAngularDistance returns AngularDistance(g.Center(t), b) where
+// (byRad, sinBp, cosBp) = OrientationTrig(b), reading the tile-side
+// trigonometry from the tables. Bit-identical to the general function:
+// tile centers already lie in the normalized domain, and the operand
+// grouping matches AngularDistance exactly.
+func (ge *Geometry) TileAngularDistance(t Tile, byRad, sinBp, cosBp float64) float64 {
+	c := ge.sinPitch[t.J]*sinBp + ge.cosPitch[t.J]*cosBp*math.Cos(ge.yawRad[t.I]-byRad)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c) * 180 / math.Pi
+}
+
+// AppendVisibleTiles is Grid.AppendVisibleTiles on the memoized geometry:
+// the FoV box test is separable (the yaw test depends only on the column,
+// the pitch test only on the row), so it evaluates W+H comparisons instead
+// of W·H and emits the same tiles in the same row-major order.
+func (ge *Geometry) AppendVisibleTiles(dst []Tile, o Orientation, fov FoV) []Tile {
+	g := ge.g
+	if g.W > 64 || g.H > 64 {
+		return g.AppendVisibleTiles(dst, o, fov)
+	}
+	o = o.Normalized()
+	center := g.TileAt(o)
+	var colBuf, rowBuf [64]bool
+	colVis := colBuf[:g.W]
+	for i := range colVis {
+		dyaw := math.Abs(NormalizeYaw(ge.CenterYaw[i] - o.Yaw))
+		if dyaw > 180 {
+			dyaw = 360 - dyaw
+		}
+		colVis[i] = dyaw <= fov.H/2
+	}
+	rowVis := rowBuf[:g.H]
+	for j := range rowVis {
+		rowVis[j] = math.Abs(ge.CenterPitch[j]-o.Pitch) <= fov.V/2
+	}
+	out := dst[:0]
+	for j := 0; j < g.H; j++ {
+		rv := rowVis[j]
+		for i := 0; i < g.W; i++ {
+			if (rv && colVis[i]) || (i == center.I && j == center.J) {
+				out = append(out, Tile{I: i, J: j})
+			}
+		}
+	}
+	return out
 }

@@ -115,6 +115,12 @@ type frameObs struct {
 	arrival time.Duration
 	delay   time.Duration
 	bits    float64
+	// x, y cache the trendline regressors (arrival seconds, smoothed delay
+	// ms) at observation time: the slope fit runs once per packet over the
+	// whole window, and converting Durations there dominated it. Cached
+	// with exactly the conversions the fit used, so slopes are
+	// bit-identical.
+	x, y float64
 }
 
 type seqObs struct {
@@ -128,7 +134,13 @@ type seqObs struct {
 type GCCReceiver struct {
 	cfg GCCConfig
 
-	frames []frameObs // ring of recent frames, newest last
+	// frames is the live window (oldest first), always a sub-slice of fbuf.
+	// fbuf is a fixed 2×Window backing array: when an append would run off
+	// its end, the window is compacted back to the front, so steady-state
+	// operation never grows a slice (amortized one entry-copy per frame).
+	frames       []frameObs
+	fbuf         []frameObs
+	fstart, fend int
 
 	// smoothed is the EWMA-filtered delay fed to the trendline, mirroring
 	// WebRTC's smoothing of the accumulated delay before the slope fit.
@@ -161,6 +173,7 @@ func NewGCCReceiver(cfg GCCConfig) (*GCCReceiver, error) {
 	}
 	return &GCCReceiver{
 		cfg:       cfg,
+		fbuf:      make([]frameObs, 2*cfg.Window),
 		threshold: cfg.InitialThreshold,
 		state:     stateIncrease,
 		rate:      cfg.InitialRate,
@@ -177,14 +190,24 @@ func (g *GCCReceiver) OnFrame(arrival, delay time.Duration, bits float64) {
 	} else {
 		g.smoothed += 0.15 * (d - g.smoothed)
 	}
-	g.frames = append(g.frames, frameObs{
-		arrival: arrival,
-		delay:   time.Duration(g.smoothed * float64(time.Millisecond)),
-		bits:    bits,
-	})
-	if len(g.frames) > g.cfg.Window {
-		g.frames = g.frames[len(g.frames)-g.cfg.Window:]
+	smoothedDelay := time.Duration(g.smoothed * float64(time.Millisecond))
+	if g.fend == len(g.fbuf) {
+		// Backing array exhausted: slide the window home.
+		n := copy(g.fbuf, g.fbuf[g.fstart:g.fend])
+		g.fstart, g.fend = 0, n
 	}
+	g.fbuf[g.fend] = frameObs{
+		arrival: arrival,
+		delay:   smoothedDelay,
+		bits:    bits,
+		x:       arrival.Seconds(),
+		y:       float64(smoothedDelay.Milliseconds()),
+	}
+	g.fend++
+	if g.fend-g.fstart > g.cfg.Window {
+		g.fstart++
+	}
+	g.frames = g.fbuf[g.fstart:g.fend]
 	if arrival >= g.cfg.Warmup {
 		g.detect(arrival)
 	}
@@ -199,7 +222,13 @@ func (g *GCCReceiver) OnPacket(arrival, delay time.Duration, bits float64, seq i
 	for cut < len(g.seqs) && arrival-g.seqs[cut].arrival > g.cfg.RateWindow {
 		cut++
 	}
-	g.seqs = g.seqs[cut:]
+	if cut > 0 {
+		// Compact in place instead of re-slicing the front away: the
+		// backing array stays put, so append never chases a walking
+		// window across fresh allocations.
+		n := copy(g.seqs, g.seqs[cut:])
+		g.seqs = g.seqs[:n]
+	}
 }
 
 // LossRatio estimates the fraction of packets lost over the rate window
@@ -227,9 +256,9 @@ func (g *GCCReceiver) slope() float64 {
 		return 0
 	}
 	var sx, sy, sxx, sxy float64
-	for _, f := range g.frames {
-		x := f.arrival.Seconds()
-		y := float64(f.delay.Milliseconds())
+	for i := range g.frames {
+		f := &g.frames[i]
+		x, y := f.x, f.y
 		sx += x
 		sy += y
 		sxx += x * x
@@ -333,7 +362,8 @@ func (g *GCCReceiver) Update(now time.Duration) float64 {
 		// pre-decrease delays cannot re-trigger immediately.
 		g.usage = Normal
 		g.inOveruse = false
-		g.frames = g.frames[:0]
+		g.fend = g.fstart
+		g.frames = g.fbuf[g.fstart:g.fend]
 	case stateIncrease:
 		if elapsed > 0 {
 			g.rate *= math.Pow(g.cfg.IncreasePerSec, elapsed.Seconds())

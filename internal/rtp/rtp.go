@@ -64,10 +64,11 @@ func AppendPackets(dst []Packet, f *video.EncodedFrame) []Packet {
 // controlled rate. Its tick is fine-grained (5 ms) so the firmware buffer
 // sees a smooth arrival process.
 type Pacer struct {
-	clk  *simclock.Clock
-	tick time.Duration
-	rate float64 // bits/s
-	send func(Packet) bool
+	clk     *simclock.Clock
+	tick    time.Duration
+	tickSec float64 // tick.Seconds(), hoisted off the per-tick path
+	rate    float64 // bits/s
+	send    func(Packet) bool
 	// queue[head:] is the live FIFO. Popping advances head instead of
 	// re-slicing the front away, so the backing array is recycled (see
 	// Enqueue) rather than abandoned to the allocator on every wrap.
@@ -91,7 +92,7 @@ func NewPacer(clk *simclock.Clock, tick time.Duration, initialRate float64, send
 	if initialRate <= 0 {
 		panic(fmt.Sprintf("rtp: initial rate %g must be positive", initialRate))
 	}
-	p := &Pacer{clk: clk, tick: tick, rate: initialRate, send: send}
+	p := &Pacer{clk: clk, tick: tick, tickSec: tick.Seconds(), rate: initialRate, send: send}
 	clk.Ticker(tick, p.onTick)
 	return p
 }
@@ -130,9 +131,9 @@ func (p *Pacer) QueueBits() float64 { return p.queued }
 func (p *Pacer) Drops() int64 { return p.drops }
 
 func (p *Pacer) onTick() {
-	p.credit += p.rate * p.tick.Seconds()
+	p.credit += p.rate * p.tickSec
 	// Cap idle credit at one tick plus a packet so bursts stay bounded.
-	maxCredit := p.rate*p.tick.Seconds() + MTU*8
+	maxCredit := p.rate*p.tickSec + MTU*8
 	if p.credit > maxCredit {
 		p.credit = maxCredit
 	}
@@ -178,6 +179,7 @@ type Reassembler struct {
 	clk      *simclock.Clock
 	onFrame  func(CompletedFrame)
 	partial  map[int]*partialFrame
+	free     []*partialFrame // recycled partials; one live per in-flight frame
 	lost     int64
 	complete int64
 }
@@ -199,7 +201,13 @@ func NewReassembler(clk *simclock.Clock, onFrame func(CompletedFrame)) *Reassemb
 func (r *Reassembler) OnPacket(pkt Packet) {
 	pf := r.partial[pkt.FrameSeq]
 	if pf == nil {
-		pf = &partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt}
+		if n := len(r.free); n > 0 {
+			pf = r.free[n-1]
+			r.free = r.free[:n-1]
+			*pf = partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt}
+		} else {
+			pf = &partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt}
+		}
 		r.partial[pkt.FrameSeq] = pf
 	}
 	pf.got++
@@ -217,11 +225,15 @@ func (r *Reassembler) OnPacket(pkt Packet) {
 		if seq < pkt.FrameSeq {
 			r.lost++
 			delete(r.partial, seq)
-			_ = op
+			op.frame = nil
+			r.free = append(r.free, op)
 		}
 	}
 	r.complete++
-	r.onFrame(CompletedFrame{Frame: pf.frame, Arrived: r.clk.Now(), Sent: pf.firstSent, Bits: pf.bits})
+	done := CompletedFrame{Frame: pf.frame, Arrived: r.clk.Now(), Sent: pf.firstSent, Bits: pf.bits}
+	pf.frame = nil
+	r.free = append(r.free, pf)
+	r.onFrame(done)
 }
 
 // Lost reports frames abandoned due to packet loss.

@@ -410,6 +410,8 @@ type Session struct {
 	// hands the (possibly grown) tile slice back for the next frame.
 	pktScratch []rtp.Packet
 	visScratch []projection.Tile
+	// pktFree pools the boxed forward-path packets (see DeliverForward).
+	pktFree []*rtp.Packet
 
 	attached  bool
 	finalized bool
@@ -518,11 +520,30 @@ func (s *Session) Config() Config { return s.cfg }
 // invoked (on the simulation goroutine) with each rtp.Packet payload that
 // survives the network. Wire it as the transport's deliverFwd callback.
 func (s *Session) DeliverForward(p any) {
-	pkt := p.(rtp.Packet)
+	pkt := p.(*rtp.Packet)
 	// GCC observes the network path per packet (RTP timestamps), as in
 	// WebRTC: one-way transport delay, excluding the app-layer queue.
 	s.gccRx.OnPacket(s.clk.Now(), s.clk.Now()-pkt.SentAt, float64(pkt.Bytes)*8, pkt.Seq)
-	s.reasm.OnPacket(pkt)
+	s.reasm.OnPacket(*pkt)
+	s.putPkt(pkt)
+}
+
+// getPkt / putPkt run the session's forward-path packet free list. Packets
+// the transport drops after accepting them (modem buffer, queue overflow)
+// simply never come back — the pool regrows by allocation, which is rare
+// and harmless.
+func (s *Session) getPkt() *rtp.Packet {
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree = s.pktFree[:n-1]
+		return p
+	}
+	return new(rtp.Packet)
+}
+
+func (s *Session) putPkt(p *rtp.Packet) {
+	*p = rtp.Packet{} // drop the frame reference while pooled
+	s.pktFree = append(s.pktFree, p)
 }
 
 // DeliverFeedback is the reverse-path terminus: it must be invoked with
@@ -630,7 +651,17 @@ func (s *Session) Attach(clk *simclock.Clock, transport netsim.Transport) error 
 		initialRate = s.fbcc.RTPRate()
 	}
 	s.pacer = rtp.NewPacer(clk, rtp.DefaultPacerTick, initialRate, func(pkt rtp.Packet) bool {
-		return transport.Send(pkt.Bytes, pkt)
+		// Box a pooled pointer instead of the packet value: the interface
+		// conversion for a value payload allocates once per packet, and the
+		// forward path delivers each payload at most once (faults install
+		// only on the reverse link), so DeliverForward can recycle it.
+		p := s.getPkt()
+		*p = pkt
+		if !transport.Send(p.Bytes, p) {
+			s.putPkt(p)
+			return false
+		}
+		return true
 	})
 
 	// --- Modem diagnostics → FBCC + traces -----------------------------

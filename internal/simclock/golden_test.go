@@ -1,0 +1,126 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// The typed-code dispatch path (NewCode/ScheduleCode) replaced per-event
+// closures on the engine's hot paths. Its contract is exact equivalence:
+// for any scheduling workload, coded events fire in the same order, at the
+// same virtual times, as the closure-based events they replaced. This
+// property test drives both dispatch styles through an identical randomized
+// workload — bursts, ties, cancellations, handler-spawned events, tickers
+// competing with the heap — and requires the firing logs to match
+// event-for-event.
+
+type firedEvent struct {
+	at  time.Duration
+	tag int
+}
+
+// goldenRunner drives one clock through the workload. The schedule
+// indirection is the only difference between the two runs under test.
+type goldenRunner struct {
+	c        *Clock
+	schedule func(at time.Duration, tag int) Handle
+	log      []firedEvent
+	handles  []Handle
+	rng      uint64
+	spawned  int
+	ticks    int
+	stopTick func()
+}
+
+func (r *goldenRunner) rand() uint64 {
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	return r.rng
+}
+
+// fire is the shared handler body. Every draw from r.rng happens inside
+// handlers, so as long as both runs fire handlers in the same order they
+// make identical follow-on scheduling decisions.
+func (r *goldenRunner) fire(tag int) {
+	r.log = append(r.log, firedEvent{r.c.Now(), tag})
+	const maxSpawned = 4000
+	switch r.rand() % 5 {
+	case 0, 1: // spawn a short burst, often with tied timestamps
+		n := int(r.rand()%3) + 1
+		delay := time.Duration(r.rand()%500) * time.Microsecond
+		for i := 0; i < n && r.spawned < maxSpawned; i++ {
+			r.spawned++
+			h := r.schedule(r.c.Now()+delay, r.spawned)
+			r.handles = append(r.handles, h)
+		}
+	case 2: // cancel a random pending handle (double-cancel is legal)
+		if len(r.handles) > 0 {
+			r.handles[r.rand()%uint64(len(r.handles))].Cancel()
+		}
+	case 3: // spawn one far-future event
+		if r.spawned < maxSpawned {
+			r.spawned++
+			at := r.c.Now() + time.Duration(r.rand()%50)*time.Millisecond
+			r.handles = append(r.handles, r.schedule(at, r.spawned))
+		}
+	default: // no follow-on work
+	}
+}
+
+// runGoldenWorkload executes the workload on a fresh clock, returning the
+// firing log. useCodes selects typed-code dispatch; otherwise closures.
+func runGoldenWorkload(seed uint64, useCodes bool) []firedEvent {
+	c := New()
+	r := &goldenRunner{c: c, rng: seed}
+	if useCodes {
+		code := c.NewCode(func(arg any) { r.fire(arg.(int)) })
+		r.schedule = func(at time.Duration, tag int) Handle {
+			return c.ScheduleCode(at, code, tag)
+		}
+	} else {
+		r.schedule = func(at time.Duration, tag int) Handle {
+			return c.Schedule(at, func() { r.fire(tag) })
+		}
+	}
+
+	// Periodic lane competing with the heap: one free-running ticker and
+	// one that stops itself mid-run (tags are negative to stay disjoint
+	// from heap-event tags).
+	c.Ticker(700*time.Microsecond, func() { r.log = append(r.log, firedEvent{c.Now(), -1}) })
+	r.stopTick = c.Ticker(900*time.Microsecond, func() {
+		r.log = append(r.log, firedEvent{c.Now(), -2})
+		r.ticks++
+		if r.ticks == 40 {
+			r.stopTick()
+		}
+	})
+
+	// Seed burst, including exact timestamp ties.
+	for i := 0; i < 50; i++ {
+		r.spawned++
+		at := time.Duration(i%17) * 300 * time.Microsecond
+		r.handles = append(r.handles, r.schedule(at, r.spawned))
+	}
+	c.Run(80 * time.Millisecond)
+	return r.log
+}
+
+func TestCodedDispatchMatchesClosureGolden(t *testing.T) {
+	for _, seed := range []uint64{1, 2463534242, 88172645463325252} {
+		closure := runGoldenWorkload(seed, false)
+		coded := runGoldenWorkload(seed, true)
+		if len(closure) < 200 {
+			t.Fatalf("seed %d: workload degenerate, only %d events fired", seed, len(closure))
+		}
+		if len(closure) != len(coded) {
+			t.Fatalf("seed %d: closure run fired %d events, coded run %d", seed, len(closure), len(coded))
+		}
+		for i := range closure {
+			if closure[i] != coded[i] {
+				t.Fatalf("seed %d: event %d diverged: closure (%v, tag %d) vs coded (%v, tag %d)",
+					seed, i, closure[i].at, closure[i].tag, coded[i].at, coded[i].tag)
+			}
+		}
+	}
+}

@@ -9,25 +9,53 @@
 //
 // Scheduling is the hottest allocation site of a session (a 30 s cellular
 // run schedules ~44 000 events: 30 000 LTE subframes, 6 000 pacer ticks,
-// per-packet deliveries, frame/feedback/diag timers). Fired events are
-// therefore recycled through a per-clock free list instead of being left
-// to the garbage collector: after the steady-state heap depth is reached,
-// Schedule allocates nothing. Recycling is invisible to callers — event
-// order, FIFO tie-breaking and Handle.Cancel semantics are unchanged (a
-// Handle carries the generation of the event it cancels, so a stale handle
-// to a recycled slot is a no-op exactly like a handle to a fired event).
+// per-packet deliveries, frame/feedback/diag timers). Events therefore
+// live in a flat per-clock slab and are addressed by index: the priority
+// queue is a binary heap of int32 slab indices, so sift operations move
+// 4-byte integers instead of pointers and incur no GC write barriers, and
+// fired slots are recycled through a free list so steady-state scheduling
+// allocates nothing. Recycling is invisible to callers — event order, FIFO
+// tie-breaking and Handle.Cancel semantics are unchanged (a Handle carries
+// the generation of the slot it cancels, so a stale handle to a recycled
+// slot is a no-op exactly like a handle to a fired event).
+//
+// # Typed event codes
+//
+// Hot paths that schedule the same callback thousands of times per second
+// (packet deliveries on network links) register the callback once with
+// NewCode and then schedule (code, payload) pairs with ScheduleCode: the
+// event slot stores a one-byte code instead of a function value, and
+// dispatch is a table lookup. Closure scheduling (Schedule / ScheduleAfter)
+// remains available for cold paths.
+//
+// # Periodic lane
+//
+// Tickers — the single densest event class (the 1 ms LTE subframe tick
+// alone is ~30 000 events per session) — bypass the heap entirely. Each
+// Ticker occupies one slot in a small "periodic lane"; the run loop merges
+// the lane with the heap by (time, sequence), and a fired ticker reuses its
+// lane slot for the next occurrence instead of a heap push/pop pair. Lane
+// entries consume sequence numbers at exactly the points the old
+// closure-based ticker did (one at registration, one after each callback
+// returns), so the merged firing order is bit-identical to scheduling every
+// tick through the heap.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"time"
 )
 
-// Event is a scheduled callback. Events compare by time, then by insertion
+// Code identifies a callback registered with NewCode. The zero Code is
+// reserved for closure events.
+type Code uint8
+
+// event is a scheduled callback. Events compare by time, then by insertion
 // sequence so simultaneous events run in the order they were scheduled.
-// Exactly one of fn / pfn is set; pfn carries its argument in arg so
-// payload deliveries (network links) schedule without a closure allocation.
+// Exactly one of fn / pfn / code identifies the callback; pfn and coded
+// events carry their argument in arg so payload deliveries (network links)
+// schedule without a closure allocation.
 type event struct {
 	at  time.Duration
 	seq uint64
@@ -36,59 +64,50 @@ type event struct {
 	arg any
 	// gen distinguishes incarnations of a recycled event slot; Handles
 	// remember the generation they were issued for.
-	gen uint32
+	gen  uint32
+	code Code
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
-	index    int
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// periodic is one Ticker's lane slot: the pending occurrence (at, seq) plus
+// the rescheduling state. A stopped entry keeps its pending occurrence
+// until the run loop reaches it — mirroring the old closure ticker, whose
+// already-scheduled no-op event stayed in the heap after stop().
+type periodic struct {
+	at      time.Duration
+	seq     uint64
+	period  time.Duration
+	fn      func()
+	stopped bool
 }
 
 // Clock is a discrete-event simulation clock. The zero value is not usable;
 // create one with New.
 type Clock struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	// free is the event arena: fired (or skipped-canceled) events are
-	// recycled here so steady-state scheduling allocates nothing.
-	free []*event
+	now time.Duration
+	seq uint64
+	// slab is the event arena; heap and free hold indices into it.
+	slab []event
+	heap []int32
+	free []int32
+	// periodics is the ticker lane. Entries are removed (swap-delete) only
+	// after their final pending occurrence has been consumed; stop
+	// functions capture the *periodic, so reordering is safe.
+	periodics []*periodic
+	// pmin caches the lane entry with the smallest (at, seq); pdirty marks
+	// it stale. The lane order only changes when an entry is added, removed,
+	// or rescheduled after firing — Step itself can reuse the cached pick,
+	// so the lane scan runs once per ticker fire instead of once per event.
+	pmin   *periodic
+	pdirty bool
+	// handlers dispatches typed event codes; index 0 is unused.
+	handlers []func(any)
 }
 
 // New returns a Clock positioned at virtual time zero with no pending events.
 func New() *Clock {
-	return &Clock{}
+	return &Clock{handlers: make([]func(any), 1, 8)}
 }
 
 // Now reports the current virtual time (elapsed since simulation start).
@@ -96,7 +115,8 @@ func (c *Clock) Now() time.Duration { return c.now }
 
 // Handle identifies a scheduled event and allows cancellation.
 type Handle struct {
-	e   *event
+	c   *Clock
+	idx int32
 	gen uint32
 }
 
@@ -105,64 +125,156 @@ type Handle struct {
 // been recycled for an unrelated event; the generation check makes the
 // stale cancel inert).
 func (h Handle) Cancel() {
-	if h.e != nil && h.e.gen == h.gen {
-		h.e.canceled = true
+	if h.c != nil && h.c.slab[h.idx].gen == h.gen {
+		h.c.slab[h.idx].canceled = true
 	}
 }
 
-// alloc takes an event from the free list (or the allocator) and stamps the
-// scheduling metadata shared by every schedule path.
-func (c *Clock) alloc(at time.Duration) *event {
+// less orders slab indices by (time, sequence).
+func (c *Clock) less(a, b int32) bool {
+	ea, eb := &c.slab[a], &c.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (c *Clock) siftUp(j int) {
+	h := c.heap
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !c.less(h[j], h[parent]) {
+			break
+		}
+		h[j], h[parent] = h[parent], h[j]
+		j = parent
+	}
+}
+
+func (c *Clock) siftDown(j int) {
+	h := c.heap
+	n := len(h)
+	for {
+		l := 2*j + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && c.less(h[r], h[l]) {
+			m = r
+		}
+		if !c.less(h[m], h[j]) {
+			break
+		}
+		h[j], h[m] = h[m], h[j]
+		j = m
+	}
+}
+
+func (c *Clock) push(i int32) {
+	c.heap = append(c.heap, i)
+	c.siftUp(len(c.heap) - 1)
+}
+
+// pop removes and returns the slab index of the minimum heap event. The
+// caller must ensure the heap is non-empty.
+func (c *Clock) pop() int32 {
+	h := c.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	c.heap = h[:n]
+	if n > 0 {
+		c.siftDown(0)
+	}
+	return top
+}
+
+// alloc takes an event slot from the free list (or grows the slab) and
+// stamps the scheduling metadata shared by every schedule path.
+func (c *Clock) alloc(at time.Duration) int32 {
 	if at < c.now {
 		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
 	}
-	var e *event
+	var i int32
 	if n := len(c.free); n > 0 {
-		e = c.free[n-1]
-		c.free[n-1] = nil
+		i = c.free[n-1]
 		c.free = c.free[:n-1]
 	} else {
-		e = &event{}
+		c.slab = append(c.slab, event{})
+		i = int32(len(c.slab) - 1)
 	}
+	e := &c.slab[i]
 	e.at = at
 	e.seq = c.seq
 	c.seq++
-	return e
+	return i
 }
 
-// recycle returns a popped event to the arena. The generation bump
+// recycle returns a consumed slot to the arena. The generation bump
 // invalidates any outstanding Handle to the finished incarnation.
-func (c *Clock) recycle(e *event) {
+func (c *Clock) recycle(i int32) {
+	e := &c.slab[i]
 	e.fn = nil
 	e.pfn = nil
 	e.arg = nil
+	e.code = 0
 	e.canceled = false
 	e.gen++
-	c.free = append(c.free, e)
+	c.free = append(c.free, i)
 }
 
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it indicates a logic error in the caller, and silently reordering
 // time would corrupt every downstream measurement.
 func (c *Clock) Schedule(at time.Duration, fn func()) Handle {
-	e := c.alloc(at)
-	e.fn = fn
-	heap.Push(&c.events, e)
-	return Handle{e, e.gen}
+	i := c.alloc(at)
+	c.slab[i].fn = fn
+	c.push(i)
+	return Handle{c, i, c.slab[i].gen}
 }
 
 // SchedulePayload runs fn(arg) at absolute virtual time at. It is the
 // closure-free variant of Schedule for hot paths that deliver a payload
-// through a long-lived function (network links schedule one event per
-// packet): the callback and its argument ride in the recycled event slot,
-// so steady-state per-packet scheduling performs zero allocations beyond
-// whatever boxing arg itself required.
+// through a long-lived function: the callback and its argument ride in the
+// recycled event slot, so steady-state per-packet scheduling performs zero
+// allocations beyond whatever boxing arg itself required.
 func (c *Clock) SchedulePayload(at time.Duration, fn func(any), arg any) Handle {
-	e := c.alloc(at)
+	i := c.alloc(at)
+	e := &c.slab[i]
 	e.pfn = fn
 	e.arg = arg
-	heap.Push(&c.events, e)
-	return Handle{e, e.gen}
+	c.push(i)
+	return Handle{c, i, e.gen}
+}
+
+// NewCode registers h as a typed event handler and returns its Code.
+// Coded events store one byte in the event slot instead of a function
+// value; use ScheduleCode to schedule them. Codes are per-clock; a clock
+// supports up to 255.
+func (c *Clock) NewCode(h func(any)) Code {
+	if h == nil {
+		panic("simclock: nil code handler")
+	}
+	if len(c.handlers) > math.MaxUint8 {
+		panic("simclock: event code space exhausted")
+	}
+	c.handlers = append(c.handlers, h)
+	return Code(len(c.handlers) - 1)
+}
+
+// ScheduleCode runs the handler registered for code with arg at absolute
+// virtual time at.
+func (c *Clock) ScheduleCode(at time.Duration, code Code, arg any) Handle {
+	if code == 0 || int(code) >= len(c.handlers) {
+		panic(fmt.Sprintf("simclock: schedule of unregistered code %d", code))
+	}
+	i := c.alloc(at)
+	e := &c.slab[i]
+	e.code = code
+	e.arg = arg
+	c.push(i)
+	return Handle{c, i, e.gen}
 }
 
 // ScheduleAfter runs fn after delay d (d < 0 is treated as 0).
@@ -179,45 +291,128 @@ func (c *Clock) Ticker(period time.Duration, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("simclock: ticker period must be positive")
 	}
-	stopped := false
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			c.ScheduleAfter(period, tick)
-		}
-	}
-	c.ScheduleAfter(period, tick)
-	return func() { stopped = true }
+	p := &periodic{at: c.now + period, seq: c.seq, period: period, fn: fn}
+	c.seq++
+	c.periodics = append(c.periodics, p)
+	c.pdirty = true
+	// Stopping only flags the entry: its pending occurrence keeps its
+	// (at, seq) slot in the merge order, so the cached minimum stays valid.
+	return func() { p.stopped = true }
 }
 
-// fire copies the callback out of a popped event, recycles the slot, and
-// invokes the callback. Copy-then-recycle lets the callback's own
-// scheduling immediately reuse the slot.
-func (c *Clock) fire(e *event) {
-	fn, pfn, arg := e.fn, e.pfn, e.arg
-	c.recycle(e)
-	if pfn != nil {
+// removePeriodic swap-deletes p from the lane once its last pending
+// occurrence has been consumed.
+func (c *Clock) removePeriodic(p *periodic) {
+	for i, q := range c.periodics {
+		if q == p {
+			n := len(c.periodics) - 1
+			c.periodics[i] = c.periodics[n]
+			c.periodics[n] = nil
+			c.periodics = c.periodics[:n]
+			c.pdirty = true
+			return
+		}
+	}
+}
+
+// nextPeriodic returns the lane entry with the smallest (at, seq), or nil.
+func (c *Clock) nextPeriodic() *periodic {
+	if !c.pdirty {
+		return c.pmin
+	}
+	var best *periodic
+	for _, p := range c.periodics {
+		if best == nil || p.at < best.at || (p.at == best.at && p.seq < best.seq) {
+			best = p
+		}
+	}
+	c.pmin = best
+	c.pdirty = false
+	return best
+}
+
+// skipCanceled pops and recycles canceled events off the heap top,
+// mirroring the old behavior of consuming them without advancing time.
+func (c *Clock) skipCanceled() {
+	for len(c.heap) > 0 && c.slab[c.heap[0]].canceled {
+		c.recycle(c.pop())
+	}
+}
+
+// fireHeap consumes the minimum heap event: copy the callback out, recycle
+// the slot (so the callback's own scheduling can reuse it immediately), and
+// dispatch.
+func (c *Clock) fireHeap() {
+	i := c.pop()
+	e := &c.slab[i]
+	fn, pfn, arg, code := e.fn, e.pfn, e.arg, e.code
+	c.recycle(i)
+	switch {
+	case code != 0:
+		c.handlers[code](arg)
+	case pfn != nil:
 		pfn(arg)
-	} else {
+	default:
 		fn()
 	}
+}
+
+// firePeriodic consumes a lane entry's pending occurrence. A stopped entry
+// is retired without running its callback (the old closure ticker fired a
+// no-op event here); a live one runs fn and then reschedules, consuming the
+// next sequence number only after fn returns — exactly where the old
+// ticker's ScheduleAfter sat.
+func (c *Clock) firePeriodic(p *periodic) {
+	if p.stopped {
+		c.removePeriodic(p)
+		return
+	}
+	p.fn()
+	if p.stopped {
+		c.removePeriodic(p)
+		return
+	}
+	p.at = c.now + p.period
+	p.seq = c.seq
+	c.seq++
+	c.pdirty = true
+}
+
+// next selects the earliest pending occurrence across the heap and the
+// periodic lane. It returns (nil, -1) when nothing is pending; a heap pick
+// is (nil, index of heap top), a lane pick is (entry, -1).
+func (c *Clock) next() (*periodic, int32) {
+	c.skipCanceled()
+	p := c.nextPeriodic()
+	if len(c.heap) == 0 {
+		if p == nil {
+			return nil, -1
+		}
+		return p, -1
+	}
+	top := c.heap[0]
+	if p == nil {
+		return nil, top
+	}
+	e := &c.slab[top]
+	if e.at < p.at || (e.at == p.at && e.seq < p.seq) {
+		return nil, top
+	}
+	return p, -1
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports false when no events remain.
 func (c *Clock) Step() bool {
-	for c.events.Len() > 0 {
-		e := heap.Pop(&c.events).(*event)
-		if e.canceled {
-			c.recycle(e)
-			continue
-		}
-		c.now = e.at
-		c.fire(e)
+	p, top := c.next()
+	switch {
+	case p != nil:
+		c.now = p.at
+		c.firePeriodic(p)
+		return true
+	case top >= 0:
+		c.now = c.slab[top].at
+		c.fireHeap()
 		return true
 	}
 	return false
@@ -227,30 +422,37 @@ func (c *Clock) Step() bool {
 // event lies beyond until. The clock finishes positioned at until (or at the
 // last event time if that is later — it never rewinds).
 func (c *Clock) Run(until time.Duration) {
-	for c.events.Len() > 0 {
-		// Peek.
-		next := c.events[0]
-		if next.canceled {
-			c.recycle(heap.Pop(&c.events).(*event))
-			continue
+	for {
+		p, top := c.next()
+		switch {
+		case p != nil:
+			if p.at > until {
+				goto done
+			}
+			c.now = p.at
+			c.firePeriodic(p)
+		case top >= 0:
+			if c.slab[top].at > until {
+				goto done
+			}
+			c.now = c.slab[top].at
+			c.fireHeap()
+		default:
+			goto done
 		}
-		if next.at > until {
-			break
-		}
-		heap.Pop(&c.events)
-		c.now = next.at
-		c.fire(next)
 	}
+done:
 	if c.now < until {
 		c.now = until
 	}
 }
 
-// Pending reports the number of live (non-cancelled) events in the queue.
+// Pending reports the number of live (non-cancelled) events in the queue,
+// counting each active ticker's pending occurrence.
 func (c *Clock) Pending() int {
-	n := 0
-	for _, e := range c.events {
-		if !e.canceled {
+	n := len(c.periodics)
+	for _, i := range c.heap {
+		if !c.slab[i].canceled {
 			n++
 		}
 	}

@@ -106,14 +106,16 @@ func (f *Frame) RawBits() float64 {
 // the paper's v4l2loopback virtual webcam replaying a 4K capture: repeatable
 // traffic with spatially non-uniform, slowly wandering content complexity.
 type Source struct {
-	cfg Config
-	rng *rand.Rand
-	seq int
+	cfg  Config
+	rng  *rand.Rand
+	seq  int
+	geom *projection.Geometry
 	// Content hotspot (a region with more detail/motion) drifting in yaw.
 	hotYaw   float64
 	hotDrift float64
 	weights  []float64 // scratch, per tile
 	bits     []float64 // scratch: the returned frame's TileBits
+	colF     []float64 // scratch, per column: hotspot factor of the frame
 }
 
 // NewSource returns a Source for cfg. It panics on invalid configs — a
@@ -126,10 +128,12 @@ func NewSource(cfg Config) *Source {
 	return &Source{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		geom:     projection.GeomFor(cfg.Grid),
 		hotYaw:   90,
 		hotDrift: 12, // degrees per second
 		weights:  make([]float64, cfg.Grid.Tiles()),
 		bits:     make([]float64, cfg.Grid.Tiles()),
+		colF:     make([]float64, cfg.Grid.W),
 	}
 }
 
@@ -150,23 +154,34 @@ func (s *Source) NextFrame(now time.Duration) Frame {
 
 	// Base spatial weight: solid angle of the tile (equirectangular frames
 	// oversample the poles; a real encoder spends bits roughly per content,
-	// which tracks solid angle).
-	total := 0.0
-	for j := 0; j < g.H; j++ {
-		w := g.AreaWeight(j)
+	// which tracks solid angle). The hotspot factor depends only on the
+	// column (tile-center yaw), so it is evaluated W times per frame
+	// instead of W·H; the row-major products and accumulation order match
+	// the per-tile loop bit for bit.
+	colF := s.colF
+	if s.cfg.Hotspotten {
 		for i := 0; i < g.W; i++ {
-			f := 1.0
-			if s.cfg.Hotspotten {
-				c := g.Center(projection.Tile{I: i, J: j})
-				d := math.Abs(projection.NormalizeYaw(c.Yaw - s.hotYaw))
-				if d > 180 {
-					d = 360 - d
-				}
-				// Up to 2× bits near the hotspot, decaying over ~90°.
-				f = 1 + math.Exp(-d*d/(2*45*45))
+			d := math.Abs(projection.NormalizeYaw(s.geom.CenterYaw[i] - s.hotYaw))
+			if d > 180 {
+				d = 360 - d
 			}
-			s.weights[g.Index(projection.Tile{I: i, J: j})] = w * f
-			total += w * f
+			// Up to 2× bits near the hotspot, decaying over ~90°.
+			colF[i] = 1 + math.Exp(-d*d/(2*45*45))
+		}
+	} else {
+		for i := range colF {
+			colF[i] = 1
+		}
+	}
+	total := 0.0
+	idx := 0
+	for j := 0; j < g.H; j++ {
+		w := s.geom.AreaW[j]
+		for i := 0; i < g.W; i++ {
+			wf := w * colF[i]
+			s.weights[idx] = wf
+			total += wf
+			idx++
 		}
 	}
 
@@ -304,15 +319,20 @@ func (ef *EncodedFrame) ROIPSNR(cfg Config, actual projection.Orientation, fov p
 // once the scratch has reached the FoV's tile count.
 func (ef *EncodedFrame) ROIPSNRScratch(cfg Config, actual projection.Orientation, fov projection.FoV, scratch []projection.Tile) (float64, []projection.Tile) {
 	g := cfg.Grid
-	vis := g.AppendVisibleTiles(scratch, actual, fov)
+	ge := projection.GeomFor(g)
+	vis := ge.AppendVisibleTiles(scratch, actual, fov)
 	sigma := cfg.FoveaSigma
 	if sigma <= 0 {
 		sigma = 25
 	}
+	// The viewer-side trigonometry of the angular distance is shared by
+	// every visible tile; the tile side comes from the geometry tables.
+	by, sinBp, cosBp := projection.OrientationTrig(actual)
+	twoSigmaSq := 2 * sigma * sigma
 	num, den := 0.0, 0.0
 	for _, tl := range vis {
-		d := projection.AngularDistance(g.Center(tl), actual)
-		w := g.AreaWeight(tl.J) * math.Exp(-d*d/(2*sigma*sigma))
+		d := ge.TileAngularDistance(tl, by, sinBp, cosBp)
+		w := ge.AreaW[tl.J] * math.Exp(-d*d/twoSigmaSq)
 		num += w * cfg.PSNRForLevel(ef.LevelAt(g.Index(tl)))
 		den += w
 	}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke bench-profile bench-snapshot bench-gate ci
+.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke bench-profile bench-snapshot bench-gate ci
 
 all: build
 
@@ -90,6 +90,16 @@ obs-smoke:
 		|| { echo "obs-smoke: no congestion episodes reported"; exit 1; }; \
 	echo "obs-smoke: ok"
 
+## network-smoke: the multi-cell city subsystem under the race detector —
+## lockstep shard advance at several worker counts with byte-identity of
+## results and obs event streams, emergent handover + watchdog recovery,
+## the grid-walk geometry, and the city experiment table. The full-scale
+## (100 cells × 1000 UEs) acceptance run honors -short and therefore runs
+## in plain `make test`, not here.
+network-smoke:
+	$(GO) test -race -short -run 'City|GridWalk' ./internal/network
+	$(GO) test -race -run 'NetworkCityTable' ./internal/experiments
+
 ## perf-smoke: the hot-path allocation gates (TestPerf* across packages:
 ## zero-alloc Eq. 1 matrix lookups, memoized Result summaries, the
 ## end-to-end per-session allocation budget) followed by one pass of the
@@ -125,7 +135,7 @@ bench-gate:
 ## ci: the umbrella target the GitHub workflow fans out over. Runs every
 ## target even after a failure and reports the full list of failed targets
 ## in the trailer, so one red gate doesn't hide another.
-CI_TARGETS := build lint vet test race bench-smoke faults-smoke multiuser-smoke obs-smoke perf-smoke bench-gate
+CI_TARGETS := build lint vet test race bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke bench-gate
 ci:
 	@failed=""; \
 	for t in $(CI_TARGETS); do \

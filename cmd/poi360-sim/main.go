@@ -11,6 +11,7 @@
 //	poi360-sim -users 4 -rc fbcc -cell campus         # 4 senders contend in ONE cell
 //	poi360-sim -rc fbcc -faults diag-stall            # scripted disturbance scenario
 //	poi360-sim -rc fbcc -faults handover -no-watchdog # paper prototype under faults
+//	poi360-sim -cells 100 -users 1000 -mobility 4s    # multi-cell city, emergent handover
 //
 // With -runs N the session repeats N times under collision-free derived
 // seeds (poi360.DeriveSeed), fanned out over a bounded worker pool; the
@@ -49,6 +50,8 @@ func main() {
 		listF    = flag.Bool("list-faults", false, "list fault scenarios and exit")
 		noWD     = flag.Bool("no-watchdog", false, "disable FBCC's diag-staleness watchdog (paper prototype behaviour)")
 		obsOut   = flag.String("obs", "", "write telemetry events (JSONL) to this file; also prints the registry and FBCC episode stats")
+		cells    = flag.Int("cells", 0, "run the multi-cell city simulation with this many cells; -users sets the UE population and -rc the controller mix (gcc, fbcc, or split)")
+		mobility = flag.Duration("mobility", 0, "mean cell dwell of the city's mobility traces (0 = static UEs; only with -cells)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,19 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	if *cells > 0 {
+		if *runs > 1 || *faultsIn != "" {
+			fatal("-cells is incompatible with -runs and -faults (city handovers are emergent, not scripted)")
+		}
+		if err := runCity(*cells, *users, *duration, *mobility, *seed, *workers, *rc, *obsOut); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if *mobility != 0 {
+		fatal("-mobility needs -cells (the multi-cell city mode)")
 	}
 
 	cfg := poi360.SessionConfig{Duration: *duration, Seed: *seed}
@@ -320,6 +336,57 @@ func runSharedCell(base poi360.SessionConfig, n int, bus *poi360.TelemetryBus) e
 	}
 	fmt.Printf("shared cell with %d users: total %.2f Mbps, Jain fairness %.3f\n",
 		n, total/1e6, poi360.JainFairness(shares))
+	return nil
+}
+
+// runCity runs the multi-cell city simulation: -cells LTE cells in
+// lockstep, -users UE endpoints with grid-walk mobility, handovers
+// emerging wherever a trace crosses a cell border. The printout is a pure
+// function of the flags at any -workers.
+func runCity(cells, ues int, duration, mobility time.Duration, seed int64, workers int, rc, obsOut string) error {
+	var mix string
+	switch rc {
+	case "gcc":
+		mix = poi360.CityMixGCC
+	case "fbcc":
+		mix = poi360.CityMixFBCC
+	case "split":
+		mix = poi360.CityMixSplit
+	default:
+		return fmt.Errorf("city mode: -rc must be gcc, fbcc, or split, got %q", rc)
+	}
+	var bus *poi360.TelemetryBus
+	if obsOut != "" {
+		bus = poi360.NewTelemetryBus()
+	}
+	res, err := poi360.RunCity(poi360.CityConfig{
+		Cells:     cells,
+		UEs:       ues,
+		Duration:  duration,
+		Seed:      seed,
+		MeanDwell: mobility,
+		Workers:   workers,
+		Mix:       mix,
+		Obs:       bus,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summarize())
+	var lost, frozen, sent int
+	for _, u := range res.PerUE {
+		sent += u.FramesSent
+		lost += u.FramesLost()
+		frozen += u.FramesFrozen
+	}
+	fmt.Printf("  frames  : sent %d, lost %d, frozen %d (measured after warmup %v)\n", sent, lost, frozen, res.Warmup)
+	fmt.Printf("  radio   : per-cell Jain mean %.3f over occupied cells, global Jain %.3f\n",
+		res.MeanPerCellJain(), res.JainGlobal)
+	if bus != nil {
+		if err := dumpObs(bus, obsOut, false); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

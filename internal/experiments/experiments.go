@@ -147,7 +147,7 @@ func All() []Experiment {
 		Fig17ab, Fig17cd, Fig17ef,
 		AblationNoModeSwitch, AblationFBCCK, AblationNoRTPLoop, AblationHold,
 		FaultsTable,
-		MultiUser,
+		MultiUser, Network,
 		ExtPrediction, ExtEdgeRelay,
 	}
 }

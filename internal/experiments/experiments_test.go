@@ -24,7 +24,8 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	for _, want := range []string{"fig5", "fig6", "table1", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16a", "fig16b", "fig17ab", "fig17cd", "fig17ef",
-		"abl-modes", "abl-k", "abl-rtp", "abl-hold", "ext-predict", "ext-edge"} {
+		"abl-modes", "abl-k", "abl-rtp", "abl-hold", "ext-predict", "ext-edge",
+		"multiuser", "network"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %q", want)
 		}
@@ -253,5 +254,40 @@ func TestExtensionPredictionShavesMismatchOnly(t *testing.T) {
 	d := rep.Measured["with prediction_psnr"] - rep.Measured["no prediction_psnr"]
 	if d > 1.5 || d < -1.5 {
 		t.Fatalf("prediction moved PSNR by %v dB — horizon should bound the effect", d)
+	}
+}
+
+// TestNetworkCityTable runs the quick city grid: the static row must be
+// handover-free, the mobility rows must show emergent handovers with
+// watchdog recoveries, and the rendered table must carry every row.
+func TestNetworkCityTable(t *testing.T) {
+	// Deliberately not quickOpts(): its SessionTime is sized for single
+	// sessions; city runs use their own quick duration.
+	rep, err := Network.Run(Options{Quick: true, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Measured["c4_u16_dstatic_ho_per_ue"]; got != 0 {
+		t.Fatalf("static city shows %.2f handovers per UE", got)
+	}
+	for _, key := range []string{"c4_u16_d1.5s", "c9_u36_d1s"} {
+		if got := rep.Measured[key+"_ho_per_ue"]; got <= 0 {
+			t.Fatalf("%s: no emergent handovers (%.2f per UE)", key, got)
+		}
+		if got := rep.Measured[key+"_recoveries"]; got <= 0 {
+			t.Fatalf("%s: watchdog never recovered", key)
+		}
+		if got := rep.Measured[key+"_outage_ms"]; got < 250 {
+			t.Fatalf("%s: mean outage %.0f ms below the handover floor", key, got)
+		}
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("%d tables, want 1", len(rep.Tables))
+	}
+	out := rep.Tables[0].String()
+	for _, want := range []string{"static", "1.5s", "wdog"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -157,6 +157,45 @@ func TestFaultScenariosMaterialize(t *testing.T) {
 	}
 }
 
+// Regression: scenarioStart used to floor at 2 s unconditionally, so any
+// session shorter than ~3 s got windows starting at/after its own end —
+// Periodic produced zero events and the "faulted" session ran clean.
+// Sub-2 s sessions must now materialize at least one in-session window
+// (or error loudly; silence is the bug).
+func TestFaultScenariosSubTwoSecondSessions(t *testing.T) {
+	for _, d := range []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond, 1900 * time.Millisecond, 2 * time.Second, 2500 * time.Millisecond} {
+		for _, n := range ScenarioNames() {
+			s, err := MakeScenario(n, d)
+			if err != nil {
+				t.Fatalf("%s @ %v: %v", n, d, err)
+			}
+			if s.Empty() {
+				t.Fatalf("%s @ %v silently produced an empty script", n, d)
+			}
+			for i, e := range s.Events {
+				if e.From >= d {
+					t.Fatalf("%s @ %v: event %d starts at/after session end: %v", n, d, i, e)
+				}
+				if e.Until > d {
+					t.Fatalf("%s @ %v: event %d ends past the session: %v", n, d, i, e)
+				}
+				if e.From >= e.Until {
+					t.Fatalf("%s @ %v: event %d has an empty window: %v", n, d, i, e)
+				}
+			}
+		}
+	}
+	// Timelines at the supported experiment lengths are untouched by the
+	// clip: the first window of a 60 s scenario still opens at 20 s.
+	s, err := MakeScenario("handover", 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].From != 20*time.Second {
+		t.Fatalf("60 s handover timeline moved: first window at %v, want 20s", s.Events[0].From)
+	}
+}
+
 func TestFaultKindStrings(t *testing.T) {
 	for k := DiagStall; k <= ROIFreeze; k++ {
 		if s := k.String(); s == "" || s[0] == 'f' && s != "feedback-drop" && s != "feedback-dup" && s != "feedback-delay" {

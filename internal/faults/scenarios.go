@@ -63,11 +63,18 @@ var scenarios = map[string]func(d time.Duration) Script{
 }
 
 // scenarioStart places the first disturbance at one third of the session
-// (whole seconds, at least 2 s in).
+// (whole seconds, at least 2 s in) — clipped to the session itself: for a
+// sub-~3 s session the 2 s floor would land at or after the session end,
+// every Periodic window would fall outside [0, d), and the scenario would
+// silently no-op. Such sessions start at the raw (untruncated) third
+// instead, so the first window always opens strictly before the horizon.
 func scenarioStart(d time.Duration) time.Duration {
 	s := (d / 3).Truncate(time.Second)
 	if s < 2*time.Second {
 		s = 2 * time.Second
+	}
+	if s >= d {
+		s = d / 3
 	}
 	return s
 }
@@ -95,6 +102,12 @@ func MakeScenario(name string, duration time.Duration) (Script, error) {
 	s := fn(duration)
 	if err := s.Validate(); err != nil {
 		return Script{}, fmt.Errorf("faults: scenario %q: %w", name, err)
+	}
+	if s.Empty() {
+		// A scenario that materializes to zero windows would run the
+		// session undisturbed while reporting "+faults" everywhere — the
+		// silent no-op this guard exists to catch (see scenarioStart).
+		return Script{}, fmt.Errorf("faults: scenario %q is empty over %v: no disturbance window fits the session", name, duration)
 	}
 	return s, nil
 }

@@ -43,6 +43,13 @@ type CellConfig struct {
 	// see internal/faults). It must be a pure function of the instant so
 	// the simulation stays deterministic.
 	CapacityFault func(now time.Duration) float64
+	// AlwaysPF forces the proportional-fair discipline even while a single
+	// UE is attached. Cells with a churning population (the multi-cell
+	// network layer, where UEs hand over in and out) set this so the
+	// scheduling discipline is a property of the cell, not of the instant
+	// residency; the default keeps the legacy bit-exact stochastic path
+	// for 1-UE cells.
+	AlwaysPF bool
 }
 
 // DefaultCellConfig returns the calibrated cell model for a profile.
@@ -215,6 +222,54 @@ func (c *Cell) AddUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
 	return u, nil
 }
 
+// AttachUE admits a UE to a running cell (handover re-attach): unlike
+// AddUE it is legal after Start, so the multi-cell network layer can move
+// UEs between cells mid-simulation. The new UE starts with fresh PF/EWMA
+// and diag state (a handed-over UE is a newcomer to the target scheduler)
+// and is picked up by the next subframe's allocation.
+func (c *Cell) AttachUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &UE{
+		cell:    c,
+		id:      len(c.ues),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		deliver: deliver,
+	}
+	c.ues = append(c.ues, u)
+	c.soa.add(cfg)
+	return u, nil
+}
+
+// DetachUE removes a UE from scheduling (handover detach): the firmware
+// buffer is discarded (the bytes lost size the handover transfer), diag
+// reports stop (the silence is what trips FBCC's staleness watchdog), and
+// the PF state is cleared so the row no longer shapes the allocation. It
+// returns the buffered bytes dropped. The row itself stays — UE ids index
+// the cell's SoA — and a detached UE must not be re-used: re-attach means
+// a fresh AttachUE on the target cell.
+func (c *Cell) DetachUE(u *UE) int {
+	if u.cell != c || u.detached {
+		return 0
+	}
+	u.detached = true
+	s := &c.soa
+	dropped := s.buf[u.id]
+	s.buf[u.id] = 0
+	s.diagTBS[u.id] = 0
+	s.diagSub[u.id] = 0
+	s.diagEvery[u.id] = math.MaxInt32 // never due again (skipped in subframe)
+	s.ewma[u.id] = 0
+	s.pfServed[u.id] = 0
+	u.queue = u.queue[:0]
+	u.qhead = 0
+	u.headServed = 0
+	u.credit = 0
+	return dropped
+}
+
 // addLegacyUE admits a UE that shares the cell's RNG — the legacy
 // single-user Uplink consumed one stream for both the capacity process and
 // the grant draws, and the 1-UE compatibility path preserves that stream
@@ -255,9 +310,11 @@ func (c *Cell) subframe() {
 	for i := range diagSub {
 		diagSub[i]++
 	}
-	if len(c.ues) == 1 {
-		c.stochasticGrant(c.ues[0])
-	} else if len(c.ues) > 1 {
+	if len(c.ues) == 1 && !c.cfg.AlwaysPF {
+		if !c.ues[0].detached {
+			c.stochasticGrant(c.ues[0])
+		}
+	} else if len(c.ues) >= 1 {
 		c.pfGrant()
 	}
 	for i, due := range c.soa.diagEvery {
@@ -373,6 +430,7 @@ type UE struct {
 	headServed int     // bytes of queue[qhead] already transmitted
 	credit     float64 // fractional bytes of grant not yet applied
 	dropped    int64
+	detached   bool // handed over away; excluded from scheduling and diag
 
 	diagStalled int64 // reports suppressed by a scripted DiagFault
 
@@ -397,8 +455,13 @@ func (u *UE) ID() int { return u.id }
 func (u *UE) SetDiagListener(fn func(DiagReport)) { u.onDiag = fn }
 
 // Enqueue appends a packet to the firmware buffer. It reports false (and
-// counts a drop) when the modem queue cap would be exceeded.
+// counts a drop) when the modem queue cap would be exceeded, or when the
+// UE has been detached (a radio that is gone accepts nothing).
 func (u *UE) Enqueue(p Packet) bool {
+	if u.detached {
+		u.dropped++
+		return false
+	}
 	buf := &u.cell.soa.buf[u.id]
 	if *buf+p.Bytes > u.cfg.BufferCapBytes {
 		u.dropped++
@@ -423,6 +486,10 @@ func (u *UE) BufferBytes() int { return u.cell.soa.buf[u.id] }
 
 // Dropped reports packets rejected at the modem queue cap.
 func (u *UE) Dropped() int64 { return u.dropped }
+
+// Detached reports whether the UE has been removed from scheduling by
+// Cell.DetachUE (handed over away from this cell).
+func (u *UE) Detached() bool { return u.detached }
 
 // TotalServedBits reports the cumulative bits transmitted over the air.
 func (u *UE) TotalServedBits() float64 { return u.totalServedBits }

@@ -147,3 +147,162 @@ func TestServedRateFiniteAndPositive(t *testing.T) {
 		}
 	}
 }
+
+// Handover support: a UE detached mid-run stops being scheduled, stops
+// emitting diag reports (the silence FBCC's watchdog keys on), discards
+// its buffered bytes, and refuses new traffic; the surviving UE keeps its
+// service. The detach must not disturb the cell's other trajectories.
+func TestCellDetachUEStopsServiceAndDiag(t *testing.T) {
+	clk := simclock.New()
+	cfg := DefaultCellConfig(ProfileCampus)
+	cfg.AlwaysPF = true
+	cell, err := NewCell(clk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags [2]int
+	ues := make([]*UE, 2)
+	for i := range ues {
+		u, err := cell.AttachUE(DefaultUEConfig(int64(1000+i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		u.SetDiagListener(func(DiagReport) { diags[i]++ })
+		ues[i] = u
+	}
+	for _, u := range ues {
+		u := u
+		clk.Ticker(Subframe, func() {
+			if !u.Detached() {
+				if want := 32<<10 - u.BufferBytes(); want > 0 {
+					u.Enqueue(Packet{Bytes: want})
+				}
+			}
+		})
+	}
+	cell.Start()
+
+	var droppedAtDetach int
+	var diagsAtDetach int
+	clk.Schedule(5*time.Second, func() {
+		droppedAtDetach = cell.DetachUE(ues[0])
+		diagsAtDetach = diags[0]
+	})
+	clk.Run(10 * time.Second)
+
+	if droppedAtDetach <= 0 {
+		t.Fatalf("detach of a backlogged UE dropped %d bytes, want > 0", droppedAtDetach)
+	}
+	if diags[0] != diagsAtDetach {
+		t.Fatalf("detached UE kept emitting diag reports: %d at detach, %d at end", diagsAtDetach, diags[0])
+	}
+	if diags[1] < 200 {
+		t.Fatalf("surviving UE starved of diag reports: %d", diags[1])
+	}
+	if ues[0].BufferBytes() != 0 {
+		t.Fatalf("detached UE still buffers %d bytes", ues[0].BufferBytes())
+	}
+	if ues[0].Enqueue(Packet{Bytes: 100}) {
+		t.Fatal("detached UE accepted a packet")
+	}
+	servedAtEnd := ues[0].TotalServedBits()
+	if servedAtEnd <= 0 {
+		t.Fatal("UE was never served before the detach")
+	}
+	if ues[1].TotalServedBits() <= servedAtEnd {
+		t.Fatal("surviving UE should out-serve the half-session UE")
+	}
+}
+
+// Handover support: AttachUE admits a UE to a running cell, and the
+// newcomer gets scheduled and reports diags from fresh state.
+func TestCellAttachUEAfterStart(t *testing.T) {
+	clk := simclock.New()
+	cfg := DefaultCellConfig(ProfileCampus)
+	cfg.AlwaysPF = true
+	cell, err := NewCell(clk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cell.AttachUE(DefaultUEConfig(1000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell.Start()
+	clk.Ticker(Subframe, func() {
+		if !first.Detached() {
+			if want := 32<<10 - first.BufferBytes(); want > 0 {
+				first.Enqueue(Packet{Bytes: want})
+			}
+		}
+	})
+
+	var late *UE
+	var lateDiags int
+	clk.Schedule(3*time.Second, func() {
+		u, err := cell.AttachUE(DefaultUEConfig(2000), nil)
+		if err != nil {
+			t.Fatalf("AttachUE after Start: %v", err)
+		}
+		u.SetDiagListener(func(DiagReport) { lateDiags++ })
+		late = u
+		clk.Ticker(Subframe, func() {
+			if want := 32<<10 - u.BufferBytes(); want > 0 {
+				u.Enqueue(Packet{Bytes: want})
+			}
+		})
+	})
+	clk.Run(8 * time.Second)
+
+	if late == nil {
+		t.Fatal("late UE never attached")
+	}
+	if late.TotalServedBits() <= 0 {
+		t.Fatal("late-attached UE was never served")
+	}
+	if lateDiags < 100 {
+		t.Fatalf("late-attached UE reported %d diags, want ≈125", lateDiags)
+	}
+	if first.TotalServedBits() <= late.TotalServedBits() {
+		t.Fatal("incumbent should out-serve the late joiner over the whole run")
+	}
+}
+
+// AlwaysPF keeps the discipline fixed under churn: a single-UE cell with
+// AlwaysPF set serves through the PF allocator (deterministically), and
+// the legacy default still uses the stochastic single-UE path — their
+// trajectories differ.
+func TestCellAlwaysPFSingleUE(t *testing.T) {
+	run := func(alwaysPF bool) float64 {
+		clk := simclock.New()
+		cfg := DefaultCellConfig(ProfileCampus)
+		cfg.AlwaysPF = alwaysPF
+		cell, err := NewCell(clk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := cell.AddUE(DefaultUEConfig(1000), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.Ticker(Subframe, func() {
+			if want := 32<<10 - u.BufferBytes(); want > 0 {
+				u.Enqueue(Packet{Bytes: want})
+			}
+		})
+		cell.Start()
+		clk.Run(5 * time.Second)
+		return u.TotalServedBits()
+	}
+	pf, legacy := run(true), run(false)
+	if pf <= 0 || legacy <= 0 {
+		t.Fatalf("starved: pf=%g legacy=%g", pf, legacy)
+	}
+	if pf == legacy {
+		t.Fatal("AlwaysPF did not change the single-UE discipline")
+	}
+	if pf2 := run(true); pf2 != pf {
+		t.Fatalf("AlwaysPF path nondeterministic: %g vs %g", pf, pf2)
+	}
+}

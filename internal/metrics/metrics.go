@@ -312,11 +312,19 @@ func (e *EWMA) Value() float64 { return e.val }
 // JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) of a
 // non-negative allocation — 1 when every user gets the same share, 1/n
 // when one user gets everything. It is the standard fairness measure for
-// per-UE throughput in a shared cell. Empty input yields 0; an all-zero
-// allocation yields 1 (everyone equally starved).
+// per-UE throughput in a shared cell.
+//
+// Degenerate-allocation convention: both the empty allocation and the
+// all-zero allocation yield 1. During a full-cell outage (or an emergent
+// handover storm that empties a cell) "no contenders" and "every
+// contender equally starved" are the same physical situation, and an
+// asymmetric convention (the old empty→0) made a cell's fairness jump
+// from 0 to 1 on the arrival of a single starved UE, skewing per-cell
+// aggregates in the network layer. Perfect fairness is the limit Jain's
+// index takes for any equal allocation, vacuous ones included.
 func JainFairness(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return 1
 	}
 	var sum, sumSq float64
 	for _, x := range xs {

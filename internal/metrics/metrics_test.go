@@ -227,11 +227,22 @@ func TestPropertyPercentileMonotone(t *testing.T) {
 }
 
 func TestJainFairness(t *testing.T) {
-	if got := JainFairness(nil); got != 0 {
-		t.Fatalf("empty: got %g, want 0", got)
+	// Unified degenerate convention: the empty and the all-zero
+	// allocation are the same physical situation (nobody served) and
+	// must agree — both sit at the equal-allocation limit 1, so a cell
+	// that drains to zero UEs during an outage scores the same as one
+	// whose UEs are all equally starved.
+	if got := JainFairness(nil); got != 1 {
+		t.Fatalf("empty: got %g, want 1", got)
+	}
+	if got := JainFairness([]float64{}); got != 1 {
+		t.Fatalf("empty non-nil: got %g, want 1", got)
 	}
 	if got := JainFairness([]float64{0, 0, 0}); got != 1 {
 		t.Fatalf("all-zero: got %g, want 1", got)
+	}
+	if got, want := JainFairness(nil), JainFairness([]float64{0, 0}); got != want {
+		t.Fatalf("empty (%g) and all-zero (%g) conventions diverge", got, want)
 	}
 	if got := JainFairness([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
 		t.Fatalf("equal shares: got %g, want 1", got)

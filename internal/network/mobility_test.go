@@ -1,0 +1,6 @@
+package network
+
+import "math/rand"
+
+// newTestRand gives mobility tests a local deterministic source.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

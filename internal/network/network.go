@@ -1,0 +1,538 @@
+// Package network is the deterministic multi-cell city layer: hundreds of
+// lte.Cell shards × thousands of UEs in one simulation, with emergent
+// handover driven by mobility traces instead of scripted faults.
+//
+// # Shard/merge discipline
+//
+// Each cell is a shard — its own simclock event heap plus one lte.Cell and
+// the UE endpoints currently resident on it. Shards advance in lockstep
+// epochs (Config.Epoch, default 10 ms): a worker pool drains an atomic
+// cursor over the shard array, running every shard's clock to the common
+// epoch end, then a single-threaded coordinator processes the boundary in
+// UE-id order (mobility decisions, handover starts/completions, obs
+// emission). Because each UE's entire state is touched only by events on
+// its resident shard's clock during an epoch, and only by the coordinator
+// at barriers, the report is byte-identical at any Workers value — the
+// same ordered-fold discipline as the experiment engine's runBatches.
+//
+// # Handover state machine
+//
+// A UE's mobility trace (deterministic grid walk, exponential dwell) picks
+// a new cell; at the next boundary the coordinator detaches it from the
+// serving cell (lte.Cell.DetachUE discards the firmware buffer), sizing an
+// outage window HandoverBase + dropped·8/TransferRate. The UE stays
+// *resident on the old shard* during the outage with its sender/receiver
+// tickers running — so an FBCC sender keeps evaluating CheckWatchdog
+// against a now-silent diag feed and degrades to its embedded GCC exactly
+// as §4.3.2 prescribes, an emergent watchdog trip rather than a scripted
+// DiagStall. At the first boundary past the outage the coordinator retires
+// the old residency (port indirection: the old port's UE pointer is nulled
+// so stale in-flight events no-op) and re-attaches on the target cell with
+// a fresh modem row, fresh PF/EWMA state, and fresh per-residency seeds
+// from seeds.Grid(base, cell, ue, attachSeq). Diag reports resume within
+// one DiagPeriod and OnDiag clears the degradation — the recovery the
+// Result counts.
+//
+// # UE endpoints
+//
+// Endpoints are deliberately lighter than session.Session (no tiles, no
+// head motion, no PSNR): a frame ticker captures rv·Δt bits per interval,
+// packetizes at the RTP MTU into an application queue drained at the
+// pacing rate into the lte firmware buffer; delivered frames arrive after
+// the core path delay and feed the *real* ratecontrol.GCCReceiver, whose
+// rate returns after the reverse delay; FBCC UEs run the *real*
+// ratecontrol.FBCC on the modem diag feed. What the city table needs —
+// throughput, Jain fairness, freeze ratios, handover outages, watchdog
+// degradations/recoveries — all emerges from the genuine controllers and
+// the genuine PF scheduler.
+package network
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+	"poi360/internal/obs"
+	"poi360/internal/seeds"
+	"poi360/internal/simclock"
+)
+
+// Core-path model of the city layer (the netsim.CellularPath figures,
+// inlined so endpoints stay allocation-lean): forward frames cross the
+// core after CoreBase plus folded-normal jitter; receiver rate feedback
+// returns after a fixed RevDelay (reverse jitter is second-order for the
+// rate loop and omitted — the session layer models it in full).
+const (
+	coreBase      = 35 * time.Millisecond
+	coreJitterStd = 10 * time.Millisecond
+	revDelay      = 80 * time.Millisecond
+
+	// rtpMTU is the RTP payload size frames packetize into.
+	rtpMTU = 1200
+	// gccPacingFactor is WebRTC's pacing headroom over the target rate,
+	// applied whenever a UE paces from GCC (plain GCC UEs, and FBCC UEs
+	// while the watchdog holds them degraded).
+	gccPacingFactor = 1.5
+	// maxBacklogBytes caps the application send queue; a frame captured
+	// against a fuller backlog is dropped at capture (the real encoder
+	// would have skipped it), bounding queue growth during outages.
+	maxBacklogBytes = 256 * 1024
+)
+
+// RC selects a UE population's rate controller.
+type RC uint8
+
+// Rate controllers.
+const (
+	RCFBCC RC = iota // POI360's FBCC (§4.3) over the modem diag feed
+	RCGCC            // plain end-to-end GCC baseline
+)
+
+func (rc RC) String() string {
+	if rc == RCFBCC {
+		return "fbcc"
+	}
+	return "gcc"
+}
+
+// Mixes of rate controllers across the UE population.
+const (
+	MixSplit = "split" // even ids FBCC, odd ids GCC (the comparison mix)
+	MixFBCC  = "fbcc"
+	MixGCC   = "gcc"
+)
+
+// Config describes one city simulation. The zero value is not runnable;
+// Cells, UEs and Duration are required.
+type Config struct {
+	// Cells is the number of cell shards, laid out on a ⌈√C⌉-wide grid.
+	Cells int
+	// UEs is the total UE population, spread over the grid by the
+	// per-UE mobility stream.
+	UEs int
+	// Duration is the simulated session length.
+	Duration time.Duration
+	// Seed is the base seed; every stream derives from it through
+	// seeds.Grid + seeds.Stream. Same (Config) ⇒ same Result bytes.
+	Seed int64
+	// MeanDwell is the mean of the exponential cell dwell time; 0 keeps
+	// every UE static (no mobility, no handover).
+	MeanDwell time.Duration
+	// Epoch is the lockstep epoch length (default 10 ms). Must be a
+	// positive multiple of the LTE subframe.
+	Epoch time.Duration
+	// Workers bounds shard-advance parallelism (0 = GOMAXPROCS, 1 =
+	// sequential). Any value yields byte-identical results.
+	Workers int
+	// Profile is the radio environment of every cell (default
+	// lte.ProfileCampus); each cell's capacity process gets its own
+	// derived seed, so trajectories differ per cell.
+	Profile lte.CellProfile
+	// Mix assigns rate controllers (MixSplit default).
+	Mix string
+	// Warmup excludes the startup transient from frame/throughput stats
+	// (default min(2 s, Duration/4)).
+	Warmup time.Duration
+	// FrameInterval is the capture cadence (default one 30 fps frame).
+	FrameInterval time.Duration
+	// HandoverBase is the fixed part of the handover outage (default
+	// 250 ms — longer than the FBCC watchdog's 5×40 ms timeout, so an
+	// FBCC sender in handover always trips it).
+	HandoverBase time.Duration
+	// TransferRate converts the firmware-buffer bytes discarded at
+	// detach into extra outage time (default 2 Mbit/s X2 transfer).
+	TransferRate float64
+	// Obs, when non-nil, receives NetAttach/NetDetach/NetHandover
+	// events. Only the single-threaded coordinator emits (shards run
+	// concurrently), so instrumentation cannot perturb the trajectory
+	// and the event stream is deterministic.
+	Obs *obs.Bus
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch == 0 {
+		c.Epoch = 10 * time.Millisecond
+	}
+	if c.Profile.RSSdBm == 0 {
+		c.Profile = lte.ProfileCampus
+	}
+	if c.Mix == "" {
+		c.Mix = MixSplit
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * time.Second
+		if q := c.Duration / 4; q < c.Warmup {
+			c.Warmup = q
+		}
+	}
+	if c.FrameInterval == 0 {
+		c.FrameInterval = time.Second / 30
+	}
+	if c.HandoverBase == 0 {
+		c.HandoverBase = 250 * time.Millisecond
+	}
+	if c.TransferRate == 0 {
+		c.TransferRate = 2e6
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Validate reports an error for incoherent configurations (after
+// defaulting).
+func (c Config) Validate() error {
+	if c.Cells < 1 {
+		return fmt.Errorf("network: Cells must be ≥ 1, got %d", c.Cells)
+	}
+	if c.UEs < 1 {
+		return fmt.Errorf("network: UEs must be ≥ 1, got %d", c.UEs)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("network: Duration must be positive, got %v", c.Duration)
+	}
+	if c.Epoch <= 0 || c.Epoch%lte.Subframe != 0 {
+		return fmt.Errorf("network: Epoch must be a positive multiple of %v, got %v", lte.Subframe, c.Epoch)
+	}
+	if c.MeanDwell < 0 {
+		return fmt.Errorf("network: MeanDwell must be non-negative, got %v", c.MeanDwell)
+	}
+	if c.Mix != MixSplit && c.Mix != MixFBCC && c.Mix != MixGCC {
+		return fmt.Errorf("network: unknown Mix %q", c.Mix)
+	}
+	if c.TransferRate <= 0 {
+		return fmt.Errorf("network: TransferRate must be positive, got %g", c.TransferRate)
+	}
+	return nil
+}
+
+// UEStats is one UE's city-run measurements. Frame counters cover
+// captures at or after Warmup.
+type UEStats struct {
+	ID        int
+	RC        RC
+	HomeCell  int // initial attachment
+	FinalCell int // mobility-trace cell at the end
+	Moves     int // trace steps that changed cell
+	Handovers int // completed re-attachments
+	// OutageTotal sums the detach→re-attach windows (boundary-quantized).
+	OutageTotal time.Duration
+	// Degradations / Recoveries count FBCC watchdog trips and the
+	// subsequent diag-resume recoveries (0 for GCC UEs).
+	Degradations int
+	Recoveries   int
+
+	FramesSent      int
+	FramesDelivered int
+	FramesFrozen    int // delivered with delay > metrics.FreezeThreshold
+	BitsDelivered   float64
+	DelaySum        time.Duration // over delivered frames
+}
+
+// FramesLost is the frames captured but never displayed (handover flush,
+// firmware-buffer drops, still in flight at the end).
+func (s UEStats) FramesLost() int { return s.FramesSent - s.FramesDelivered }
+
+// FreezeRatio is the paper's §6 fraction: (lost + frozen) / sent.
+func (s UEStats) FreezeRatio() float64 {
+	if s.FramesSent == 0 {
+		return 0
+	}
+	return float64(s.FramesLost()+s.FramesFrozen) / float64(s.FramesSent)
+}
+
+// Result is one finished city run.
+type Result struct {
+	Cells     int
+	UEs       int
+	Duration  time.Duration
+	Warmup    time.Duration
+	MeanDwell time.Duration
+
+	PerUE []UEStats // by UE id
+
+	// PerCellJain is Jain's index over the radio-served bits of every
+	// residency the cell hosted (cells that never hosted one score 1,
+	// the degenerate-allocation convention of metrics.JainFairness).
+	PerCellJain []float64
+	// JainGlobal is Jain's index over per-UE delivered bits.
+	JainGlobal float64
+
+	Handovers     int
+	OutageMean    time.Duration // over completed handovers
+	Degradations  int
+	Recoveries    int
+	FreezeFBCC    float64 // population freeze ratio, FBCC UEs
+	FreezeGCC     float64 // population freeze ratio, GCC UEs
+	ThroughputBps float64 // aggregate delivered bits over the measured window
+
+	// occupied marks cells that hosted at least one residency, so
+	// MeanPerCellJain can skip never-used grid slots.
+	occupied []bool
+}
+
+// MeanPerCellJain averages PerCellJain over cells that hosted at least
+// one residency; 1 if none did.
+func (r *Result) MeanPerCellJain() float64 {
+	sum, n := 0.0, 0
+	for c, j := range r.PerCellJain {
+		if r.occupied[c] {
+			sum += j
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// Fingerprint renders every field of the result deterministically — the
+// byte-identity tests compare fingerprints across Workers values.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cells=%d ues=%d dur=%v warmup=%v dwell=%v\n", r.Cells, r.UEs, r.Duration, r.Warmup, r.MeanDwell)
+	fmt.Fprintf(&b, "handovers=%d outage_mean=%v degr=%d recov=%d\n", r.Handovers, r.OutageMean, r.Degradations, r.Recoveries)
+	fmt.Fprintf(&b, "freeze_fbcc=%.9f freeze_gcc=%.9f jain=%.9f tput=%.6f\n", r.FreezeFBCC, r.FreezeGCC, r.JainGlobal, r.ThroughputBps)
+	for c, j := range r.PerCellJain {
+		fmt.Fprintf(&b, "cell %d jain=%.9f occ=%v\n", c, j, r.occupied[c])
+	}
+	for _, u := range r.PerUE {
+		fmt.Fprintf(&b, "ue %d rc=%s home=%d final=%d moves=%d ho=%d outage=%v degr=%d recov=%d sent=%d deliv=%d frozen=%d bits=%.3f delay=%v\n",
+			u.ID, u.RC, u.HomeCell, u.FinalCell, u.Moves, u.Handovers, u.OutageTotal,
+			u.Degradations, u.Recoveries, u.FramesSent, u.FramesDelivered, u.FramesFrozen,
+			u.BitsDelivered, u.DelaySum)
+	}
+	return b.String()
+}
+
+// shard is one cell's event domain: its own clock, its lte.Cell, and the
+// modem rows of every residency it ever hosted.
+type shard struct {
+	clk   *simclock.Clock
+	cell  *lte.Cell
+	links []*lte.UE // one per residency, for per-cell fairness
+}
+
+type city struct {
+	cfg    Config
+	shards []*shard
+	ues    []*ue
+	gridW  int
+}
+
+// Run executes one city simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := &city{cfg: cfg, gridW: gridWidth(cfg.Cells)}
+
+	// --- Shards: one clock + one AlwaysPF cell per grid slot ----------
+	n.shards = make([]*shard, cfg.Cells)
+	for c := range n.shards {
+		prof := cfg.Profile
+		prof.Seed = seeds.Stream(seeds.Grid(cfg.Seed, c, 0, 0), "cell")
+		cellCfg := lte.DefaultCellConfig(prof)
+		// A city cell's discipline must not flip between the legacy
+		// stochastic path and PF as its population churns through 1.
+		cellCfg.AlwaysPF = true
+		clk := simclock.New()
+		cell, err := lte.NewCell(clk, cellCfg)
+		if err != nil {
+			return nil, fmt.Errorf("network: cell %d: %w", c, err)
+		}
+		n.shards[c] = &shard{clk: clk, cell: cell}
+		cell.Start()
+	}
+
+	// --- UEs: mobility stream, controller mix, initial attachment -----
+	n.ues = make([]*ue, cfg.UEs)
+	for i := range n.ues {
+		u, err := n.newUE(i)
+		if err != nil {
+			return nil, err
+		}
+		n.ues[i] = u
+		if err := n.attach(u, u.cur, 0, false); err != nil {
+			return nil, err
+		}
+		u.stats.HomeCell = u.cur
+	}
+
+	// --- Lockstep epochs ----------------------------------------------
+	var now time.Duration
+	for now < cfg.Duration {
+		end := now + cfg.Epoch
+		if end > cfg.Duration {
+			end = cfg.Duration
+		}
+		n.advance(end)
+		now = end
+		if now < cfg.Duration {
+			n.boundary(now)
+		}
+	}
+
+	return n.finalize(), nil
+}
+
+// advance runs every shard's clock to the epoch end. The worker pool
+// drains an atomic cursor; shard trajectories are independent within an
+// epoch, so scheduling order cannot leak into results.
+func (n *city) advance(end time.Duration) {
+	w := n.cfg.Workers
+	if w > len(n.shards) {
+		w = len(n.shards)
+	}
+	if w <= 1 {
+		for _, sh := range n.shards {
+			sh.clk.Run(end)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(n.shards) {
+					return
+				}
+				n.shards[k].clk.Run(end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// boundary is the single-threaded epoch barrier: mobility decisions and
+// the handover state machine, in UE-id order (the deterministic fold).
+func (n *city) boundary(now time.Duration) {
+	for _, u := range n.ues {
+		if u.mrng != nil && now >= u.nextMove {
+			next := stepCell(u.cur, n.cfg.Cells, n.gridW, u.mrng)
+			u.nextMove = now + dwell(u.mrng, n.cfg.MeanDwell, n.cfg.Epoch)
+			if next != u.cur {
+				u.cur = next
+				u.stats.Moves++
+			}
+		}
+		switch {
+		case u.serving >= 0 && u.serving != u.cur:
+			n.startHandover(u, now)
+		case u.serving < 0 && now >= u.outageUntil:
+			n.completeHandover(u, now)
+		}
+	}
+}
+
+func (n *city) startHandover(u *ue, now time.Duration) {
+	sh := n.shards[u.serving]
+	dropped := sh.cell.DetachUE(u.link)
+	u.port.link = nil // radio gone; in-flight core deliveries still land
+	u.hoFrom = u.serving
+	u.serving = -1
+	u.detachAt = now
+	transfer := time.Duration(float64(dropped) * 8 / n.cfg.TransferRate * float64(time.Second))
+	u.outageUntil = now + n.cfg.HandoverBase + transfer
+	u.probe.Emit(now, obs.NetDetach, float64(u.hoFrom), float64(dropped), 0, 0)
+}
+
+func (n *city) completeHandover(u *ue, now time.Duration) {
+	u.retire()
+	outage := now - u.detachAt
+	if err := n.attach(u, u.cur, now, true); err != nil {
+		// AttachUE only fails on config validation, which passed at
+		// admission; a failure here is a programming error.
+		panic(err)
+	}
+	u.stats.Handovers++
+	u.stats.OutageTotal += outage
+	u.probe.Emit(now, obs.NetHandover, float64(u.hoFrom), float64(u.cur), outage.Seconds(), 0)
+}
+
+func (n *city) finalize() *Result {
+	cfg := n.cfg
+	res := &Result{
+		Cells:       cfg.Cells,
+		UEs:         cfg.UEs,
+		Duration:    cfg.Duration,
+		Warmup:      cfg.Warmup,
+		MeanDwell:   cfg.MeanDwell,
+		PerUE:       make([]UEStats, cfg.UEs),
+		PerCellJain: make([]float64, cfg.Cells),
+		occupied:    make([]bool, cfg.Cells),
+	}
+
+	var outageSum time.Duration
+	var sentFBCC, badFBCC, sentGCC, badGCC int
+	perUEBits := make([]float64, cfg.UEs)
+	for i, u := range n.ues {
+		s := u.stats
+		s.ID = u.id
+		s.RC = u.rc
+		s.FinalCell = u.cur
+		if u.fbcc != nil {
+			s.Degradations = u.fbcc.Degradations()
+		}
+		res.PerUE[i] = s
+		perUEBits[i] = s.BitsDelivered
+
+		res.Handovers += s.Handovers
+		outageSum += s.OutageTotal
+		res.Degradations += s.Degradations
+		res.Recoveries += s.Recoveries
+		res.ThroughputBps += s.BitsDelivered
+		if u.rc == RCFBCC {
+			sentFBCC += s.FramesSent
+			badFBCC += s.FramesLost() + s.FramesFrozen
+		} else {
+			sentGCC += s.FramesSent
+			badGCC += s.FramesLost() + s.FramesFrozen
+		}
+	}
+	if res.Handovers > 0 {
+		res.OutageMean = outageSum / time.Duration(res.Handovers)
+	}
+	if sentFBCC > 0 {
+		res.FreezeFBCC = float64(badFBCC) / float64(sentFBCC)
+	}
+	if sentGCC > 0 {
+		res.FreezeGCC = float64(badGCC) / float64(sentGCC)
+	}
+	if measured := (cfg.Duration - cfg.Warmup).Seconds(); measured > 0 {
+		res.ThroughputBps /= measured
+	}
+	res.JainGlobal = metrics.JainFairness(perUEBits)
+
+	served := make([]float64, 0, 64)
+	for c, sh := range n.shards {
+		served = served[:0]
+		for _, l := range sh.links {
+			served = append(served, l.TotalServedBits())
+		}
+		res.PerCellJain[c] = metrics.JainFairness(served)
+		res.occupied[c] = len(sh.links) > 0
+	}
+	return res
+}
+
+// Summarize renders headline numbers in one line.
+func (r *Result) Summarize() string {
+	return fmt.Sprintf("%d cells × %d UEs over %v (dwell %v): %d handovers (mean outage %v), watchdog %d↓ %d↑, freeze fbcc %.2f%% gcc %.2f%%, Jain %.3f (per-cell mean %.3f), %.2f Mbps aggregate",
+		r.Cells, r.UEs, r.Duration, r.MeanDwell, r.Handovers, r.OutageMean.Round(time.Millisecond),
+		r.Degradations, r.Recoveries, 100*r.FreezeFBCC, 100*r.FreezeGCC,
+		r.JainGlobal, r.MeanPerCellJain(), r.ThroughputBps/1e6)
+}

@@ -1,0 +1,377 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+	"poi360/internal/obs"
+	"poi360/internal/ratecontrol"
+	"poi360/internal/seeds"
+)
+
+// lastOfFrame marks the final RTP packet of a frame through the lte
+// layer's opaque payload slot (one shared sentinel, no per-packet alloc).
+var lastOfFrame any = new(struct{})
+
+// port is one residency of a UE on a shard — the indirection that makes
+// cross-epoch migration race-free. Every event a residency schedules
+// (tickers, core deliveries, feedback applications) reaches the UE
+// through its port; when the coordinator retires the residency at a
+// barrier it nulls port.u, and every stale event still in the old
+// shard's heap becomes a no-op without ever touching UE state. Ports are
+// written only at single-threaded barriers, so shard workers never race
+// on them.
+type port struct {
+	u    *ue
+	sh   *shard
+	rng  *rand.Rand // per-residency core-path jitter
+	link *lte.UE    // nil once detached (radio gone, core path still live)
+	// lastArr enforces core-path FIFO: a delivery never overtakes the
+	// previous one despite independent jitter draws.
+	lastArr time.Duration
+}
+
+// appPkt is one packetized RTP payload waiting in the application send
+// queue for pacing credit.
+type appPkt struct {
+	frame int64
+	bytes int
+	last  bool
+}
+
+// pendFrame tracks a captured frame until its last packet clears the air
+// interface (or is lost).
+type pendFrame struct {
+	id      int64
+	capture time.Duration
+	bits    float64
+	counted bool // captured inside the measured window
+	lost    bool
+}
+
+// ue is one endpoint of the city: the sender half (frame capture, pacing,
+// rate control) and the receiver half (arrival bookkeeping, GCC feedback)
+// of a single uplink video call, resident on one shard at a time.
+type ue struct {
+	id  int
+	rc  RC
+	cfg *Config
+
+	// mobility trace (nil mrng = static UE)
+	mrng     *rand.Rand
+	cur      int // trace position (target cell)
+	nextMove time.Duration
+
+	// residency
+	serving   int // current cell, -1 during a handover outage
+	port      *port
+	link      *lte.UE
+	stops     []func()
+	attachSeq int
+
+	// handover bookkeeping
+	hoFrom      int
+	detachAt    time.Duration
+	outageUntil time.Duration
+
+	// rate control (fbcc nil for GCC UEs; gccRx always present — FBCC
+	// embeds GCC as its end-to-end fallback, §4.3.3)
+	fbcc        *ratecontrol.FBCC
+	gccRx       *ratecontrol.GCCReceiver
+	rgcc        float64
+	wasDegraded bool
+
+	// sender pipeline
+	frameID   int64
+	appq      []appPkt
+	apphead   int
+	appqBytes int
+	credit    float64 // pacing bytes available
+
+	// receiver pipeline
+	pend     []pendFrame
+	pendHead int
+
+	probe *obs.Probe
+	stats UEStats
+}
+
+func (n *city) newUE(id int) (*ue, error) {
+	cfg := &n.cfg
+	u := &ue{
+		id:      id,
+		serving: -1,
+		rgcc:    ratecontrol.DefaultGCCConfig().InitialRate,
+		probe:   cfg.Obs.Probe(int32(id)),
+		cfg:     cfg,
+	}
+	switch cfg.Mix {
+	case MixFBCC:
+		u.rc = RCFBCC
+	case MixGCC:
+		u.rc = RCGCC
+	default:
+		if id%2 == 0 {
+			u.rc = RCFBCC
+		} else {
+			u.rc = RCGCC
+		}
+	}
+
+	// The mobility stream also places the UE: its first draw is the home
+	// cell, so the population spreads deterministically over the grid.
+	mrng := rand.New(rand.NewSource(seeds.Stream(seeds.Grid(cfg.Seed, 0, id, 0), "mobility")))
+	u.cur = int(mrng.Int63n(int64(cfg.Cells)))
+	if cfg.MeanDwell > 0 && cfg.Cells > 1 {
+		u.mrng = mrng
+		u.nextMove = dwell(mrng, cfg.MeanDwell, cfg.Epoch)
+	}
+
+	if u.rc == RCFBCC {
+		// One-way core + reverse feedback + a capture interval on each
+		// side approximates the control loop's RTT (sizes the Eq. 6 hold
+		// and the watchdog timeout base).
+		rtt := coreBase + revDelay + 2*cfg.FrameInterval
+		f, err := ratecontrol.NewFBCC(ratecontrol.DefaultFBCCConfig(rtt))
+		if err != nil {
+			return nil, err
+		}
+		u.fbcc = f
+	}
+	g, err := ratecontrol.NewGCCReceiver(ratecontrol.DefaultGCCConfig())
+	if err != nil {
+		return nil, err
+	}
+	u.gccRx = g
+	return u, nil
+}
+
+// attach creates a fresh residency for u on the given cell: a new modem
+// row (fresh PF/EWMA state under per-residency seeds), a new port, and
+// the sender/receiver tickers on the shard's clock. Called only from the
+// single-threaded coordinator (admission at t=0, handover completion at
+// barriers).
+func (n *city) attach(u *ue, cell int, now time.Duration, handover bool) error {
+	sh := n.shards[cell]
+	grid := seeds.Grid(n.cfg.Seed, cell, u.id, u.attachSeq)
+	u.attachSeq++
+	p := &port{u: u, sh: sh, rng: rand.New(rand.NewSource(seeds.Stream(grid, "path"))), lastArr: now}
+	link, err := sh.cell.AttachUE(lte.DefaultUEConfig(seeds.Stream(grid, "lte")), p.deliver)
+	if err != nil {
+		return err
+	}
+	link.SetDiagListener(func(rep lte.DiagReport) {
+		if p.u == nil || u.fbcc == nil {
+			return
+		}
+		u.fbcc.OnDiag(rep)
+	})
+	p.link = link
+	u.port = p
+	u.link = link
+	u.serving = cell
+	sh.links = append(sh.links, link)
+	u.stops = append(u.stops,
+		sh.clk.Ticker(n.cfg.FrameInterval, func() { u.senderTick(p) }),
+		sh.clk.Ticker(n.cfg.FrameInterval, func() { u.receiverTick(p) }),
+	)
+	ho := 0.0
+	if handover {
+		ho = 1
+	}
+	u.probe.Emit(now, obs.NetAttach, float64(cell), ho, 0, 0)
+	return nil
+}
+
+// retire ends the current residency: stale events on the old shard no-op
+// from here on, and frames still queued or in flight are abandoned (they
+// count as lost because they are never delivered).
+func (u *ue) retire() {
+	u.port.u = nil
+	for _, stop := range u.stops {
+		stop()
+	}
+	u.stops = u.stops[:0]
+	u.pend = u.pend[:0]
+	u.pendHead = 0
+	u.appq = u.appq[:0]
+	u.apphead = 0
+	u.appqBytes = 0
+	u.credit = 0
+}
+
+// senderTick captures one frame at the controller's video rate and drains
+// the application queue at the pacing rate. During an outage the radio is
+// gone (port.link nil) but the tick keeps running on the old shard — this
+// is what lets the FBCC watchdog trip on the genuinely silent diag feed.
+func (u *ue) senderTick(p *port) {
+	if p.u == nil {
+		return
+	}
+	now := p.sh.clk.Now()
+	interval := u.cfg.FrameInterval.Seconds()
+
+	var rv, pace float64
+	if u.fbcc != nil {
+		degraded := u.fbcc.CheckWatchdog(now)
+		if u.wasDegraded && !degraded {
+			u.stats.Recoveries++
+		}
+		u.wasDegraded = degraded
+		rv = u.fbcc.VideoRate(now, u.rgcc)
+		u.fbcc.SetVideoRate(rv)
+		if degraded {
+			// Diag-staleness fallback: pace from the embedded GCC like a
+			// plain WebRTC sender until reports resume (§4.3.2).
+			pace = gccPacingFactor * rv
+		} else {
+			pace = u.fbcc.RTPRate()
+		}
+	} else {
+		rv = u.rgcc
+		pace = gccPacingFactor * rv
+	}
+
+	// Frame capture: rv bits/s for one interval, packetized at the MTU.
+	bits := rv * interval
+	frameBytes := int(bits / 8)
+	if frameBytes < 1 {
+		frameBytes = 1
+	}
+	counted := now >= u.cfg.Warmup
+	if counted {
+		u.stats.FramesSent++
+	}
+	if u.appqBytes <= maxBacklogBytes {
+		u.pend = append(u.pend, pendFrame{id: u.frameID, capture: now, bits: bits, counted: counted})
+		for off := 0; off < frameBytes; off += rtpMTU {
+			sz := frameBytes - off
+			if sz > rtpMTU {
+				sz = rtpMTU
+			}
+			u.appq = append(u.appq, appPkt{frame: u.frameID, bytes: sz, last: off+rtpMTU >= frameBytes})
+			u.appqBytes += sz
+		}
+	}
+	// else: backlog cap hit — the frame is skipped at capture (counted
+	// in FramesSent, never delivered, hence lost).
+	u.frameID++
+
+	u.credit += pace * interval / 8
+	if limit := 4 * float64(maxBacklogBytes); u.credit > limit {
+		u.credit = limit
+	}
+	u.drain(p, now)
+}
+
+// drain moves application packets into the firmware buffer as pacing
+// credit allows. With the radio detached (or the modem queue full) the
+// packet is spent and its frame is lost.
+func (u *ue) drain(p *port, now time.Duration) {
+	for u.apphead < len(u.appq) {
+		pkt := u.appq[u.apphead]
+		if float64(pkt.bytes) > u.credit {
+			break
+		}
+		u.apphead++
+		u.appqBytes -= pkt.bytes
+		u.credit -= float64(pkt.bytes)
+		var payload any
+		if pkt.last {
+			payload = lastOfFrame
+		}
+		if p.link == nil || !p.link.Enqueue(lte.Packet{ID: pkt.frame, Bytes: pkt.bytes, Enq: now, Payload: payload}) {
+			u.dropPend(pkt.frame)
+		}
+	}
+	if u.apphead > 64 && u.apphead*2 > len(u.appq) {
+		u.appq = u.appq[:copy(u.appq, u.appq[u.apphead:])]
+		u.apphead = 0
+	}
+}
+
+// deliver runs on the shard's clock when a packet clears the air
+// interface; the last packet of a frame schedules the frame's core-path
+// arrival.
+func (p *port) deliver(pkt lte.Packet) {
+	u := p.u
+	if u == nil || pkt.Payload == nil {
+		return
+	}
+	e, ok := u.takePend(pkt.ID)
+	if !ok || e.lost {
+		return
+	}
+	now := p.sh.clk.Now()
+	arr := now + coreBase + time.Duration(math.Abs(p.rng.NormFloat64())*float64(coreJitterStd))
+	if arr < p.lastArr {
+		arr = p.lastArr
+	}
+	p.lastArr = arr
+	capture, bits, counted := e.capture, e.bits, e.counted
+	p.sh.clk.Schedule(arr, func() { u.onFrameArrive(p, capture, bits, arr, counted) })
+}
+
+func (u *ue) onFrameArrive(p *port, capture time.Duration, bits float64, arr time.Duration, counted bool) {
+	if p.u == nil {
+		return
+	}
+	delay := arr - capture
+	u.gccRx.OnFrame(arr, delay, bits)
+	if counted {
+		u.stats.FramesDelivered++
+		u.stats.BitsDelivered += bits
+		u.stats.DelaySum += delay
+		if delay > metrics.FreezeThreshold {
+			u.stats.FramesFrozen++
+		}
+	}
+}
+
+// receiverTick runs the GCC receiver estimate and returns it to the
+// sender after the reverse-path delay (applied through the port so a
+// feedback message in flight across a handover dies with the residency).
+func (u *ue) receiverTick(p *port) {
+	if p.u == nil {
+		return
+	}
+	now := p.sh.clk.Now()
+	r := u.gccRx.Update(now)
+	p.sh.clk.Schedule(now+revDelay, func() {
+		if p.u != nil {
+			u.rgcc = r
+		}
+	})
+}
+
+// takePend removes and returns the pending entry for a frame id. Frames
+// complete near-FIFO, so the scan from pendHead is effectively O(1).
+func (u *ue) takePend(id int64) (pendFrame, bool) {
+	for i := u.pendHead; i < len(u.pend); i++ {
+		if u.pend[i].id == id {
+			e := u.pend[i]
+			if i == u.pendHead {
+				u.pendHead++
+				if u.pendHead > 64 && u.pendHead*2 > len(u.pend) {
+					u.pend = u.pend[:copy(u.pend, u.pend[u.pendHead:])]
+					u.pendHead = 0
+				}
+			} else {
+				copy(u.pend[i:], u.pend[i+1:])
+				u.pend = u.pend[:len(u.pend)-1]
+			}
+			return e, true
+		}
+	}
+	return pendFrame{}, false
+}
+
+// dropPend abandons a frame whose packet was lost before the air
+// interface; later packets of the frame that still deliver find no entry
+// and are ignored.
+func (u *ue) dropPend(id int64) {
+	u.takePend(id)
+}

@@ -79,6 +79,17 @@ const (
 	// FaultOff: a scripted disturbance window closed.
 	// A=fault kind (faults.Kind).
 	FaultOff
+	// NetAttach: a UE attached to a cell (initial admission or handover
+	// re-attach). Sub=UE id. A=cell index, B=1 when the attach completes a
+	// handover (0 for the initial admission).
+	NetAttach
+	// NetDetach: a UE detached from its serving cell (handover start).
+	// Sub=UE id. A=cell index, B=firmware-buffer bytes discarded by the
+	// detach (the state transfer that sizes the outage).
+	NetDetach
+	// NetHandover: an emergent handover completed. Sub=UE id.
+	// A=source cell index, B=target cell index, C=outage duration (s).
+	NetHandover
 
 	// NumKinds bounds the kind space (not a kind).
 	NumKinds
@@ -114,6 +125,9 @@ var kinds = [NumKinds]kindMeta{
 	NetFaultDelay: {"net.fault.delay", [4]string{"extra_s"}, -1},
 	FaultOn:       {"fault.on", [4]string{"fault", "factor", "extra_s"}, -1},
 	FaultOff:      {"fault.off", [4]string{"fault"}, -1},
+	NetAttach:     {"net.attach", [4]string{"cell", "handover"}, -1},
+	NetDetach:     {"net.detach", [4]string{"cell", "dropped_bytes"}, -1},
+	NetHandover:   {"net.handover", [4]string{"from_cell", "to_cell", "outage_s"}, 2},
 }
 
 // String returns the kind's dotted name ("fbcc.trigger").

@@ -23,13 +23,15 @@ import (
 
 	"poi360/internal/headmotion"
 	"poi360/internal/lte"
+	"poi360/internal/network"
 	"poi360/internal/session"
 )
 
 // SnapshotVersion is bumped whenever the schema or the scenario set
 // changes incompatibly; Read rejects snapshots from another version so a
 // stale baseline fails loudly instead of gating against the wrong data.
-const SnapshotVersion = 1
+// Version 2 added the multi-cell city scenario.
+const SnapshotVersion = 2
 
 // Scenario is one benchmark workload: a deterministic engine run of a
 // known simulated length.
@@ -88,6 +90,26 @@ func Scenarios() []Scenario {
 					})
 				}
 				_, err := session.RunShared(mc)
+				return err
+			},
+		},
+		{
+			Name: "city-64c-256ue-10s",
+			// One run advances the whole 64-cell city 10 simulated
+			// seconds; like the shared-cell row the ratio counts
+			// city-seconds, not the sum over cells or UEs. Workers is
+			// pinned to 1 so the measurement is single-threaded and
+			// stays comparable under the single-core calibration run.
+			SimSeconds: 10,
+			Run: func() error {
+				_, err := network.Run(network.Config{
+					Cells:     64,
+					UEs:       256,
+					Duration:  10 * time.Second,
+					Seed:      1,
+					MeanDwell: 3 * time.Second,
+					Workers:   1,
+				})
 				return err
 			},
 		},

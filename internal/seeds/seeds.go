@@ -38,6 +38,36 @@ func Derive(base int64, lane, step int) int64 {
 	return int64(mix(x))
 }
 
+// Grid maps a base seed and a non-negative (cell, ue, repeat) coordinate
+// to a per-entity seed that cannot collide with any other coordinate
+// under the same base. The multi-cell network layer needs a third axis:
+// deriving per-cell streams by offsetting the user index of Derive
+// (`Derive(base, cell*1000+ue, repeat)`-style) is exactly the additive
+// collision class the PR 1 seed unification removed — two (cell, ue)
+// pairs whose offset sums coincide would share every component stream.
+//
+// Each coordinate is masked to 21 bits and packed into disjoint bit
+// fields (cell in bits 42–62, ue in bits 21–41, repeat in bits 0–20), so
+// the packing is injective for coordinates below 2²¹ (≈2.1 M cells ×
+// 2.1 M UEs × 2.1 M repeats — far beyond the city-scale grid); the packed
+// word is XORed with the base and finalized like Derive. Coordinates at
+// or above 2²¹ are truncated.
+//
+// Grid shares Derive's finalizer but not its input space: the packed word
+// is XORed with a domain tag whose top bit is set, which no Grid packing
+// (≤ bit 62) and no realistic Derive packing (bit 63 needs lane ≥ 2³¹)
+// can produce — so Grid(base, 0, 0, 0) ≠ Derive(base, 0, 0) by
+// construction, not by accident. Component streams still come from Stream
+// on top of the Grid seed, e.g. Stream(Grid(base, c, u, r), "lte").
+func Grid(base int64, cell, ue, repeat int) int64 {
+	const (
+		mask21  = 1<<21 - 1
+		gridTag = 0xC3A5C85C97CB3127 // top bit set: disjoint from Derive's packing
+	)
+	packed := uint64(cell&mask21)<<42 | uint64(ue&mask21)<<21 | uint64(repeat&mask21)
+	return int64(mix(uint64(base) ^ gridTag ^ packed))
+}
+
 // Stream maps a base seed and a named component stream — "video",
 // "headmotion", "lte", "core", "rev", … — to an independent seed for that
 // component's RNG. The tag is hashed with FNV-1a into a 64-bit word that

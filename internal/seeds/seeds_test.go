@@ -53,6 +53,58 @@ func TestStreamTags(t *testing.T) {
 	}
 }
 
+// Grid is collision-free across a city-scale (cell, ue, repeat) grid, and
+// its seeds stay clear of the Derive coordinate region an experiment
+// would use under the same base — the two packings share a finalizer but
+// not a coordinate space.
+func TestGridUniqueCityScale(t *testing.T) {
+	const (
+		cells   = 128
+		ues     = 64
+		repeats = 4
+	)
+	seen := make(map[int64][3]int, cells*ues*repeats)
+	for c := 0; c < cells; c++ {
+		for u := 0; u < ues; u++ {
+			for r := 0; r < repeats; r++ {
+				s := Grid(42, c, u, r)
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("Grid collision: (%d,%d,%d) and (%d,%d,%d) -> %d",
+						prev[0], prev[1], prev[2], c, u, r, s)
+				}
+				seen[s] = [3]int{c, u, r}
+			}
+		}
+	}
+	// The offset scheme Grid replaces: Derive(base, cell*K+ue, repeat)
+	// collides whenever cell₁·K+ue₁ == cell₂·K+ue₂. Grid's disjoint bit
+	// fields cannot: spot-check the canonical aliasing pair.
+	if Grid(42, 1, 0, 3) == Grid(42, 0, 1000, 3) {
+		t.Fatal("Grid reproduces the additive (cell*1000+ue) collision")
+	}
+	// Stays decorrelated from the experiment (lane, step) grid under the
+	// same base.
+	derive := map[int64]bool{}
+	for lane := 0; lane < 64; lane++ {
+		for step := 0; step < 64; step++ {
+			derive[Derive(42, lane, step)] = true
+		}
+	}
+	for c := 0; c < 16; c++ {
+		for u := 0; u < 16; u++ {
+			if derive[Grid(42, c, u, 0)] {
+				t.Fatalf("Grid(%d,%d,0) collides with the Derive grid", c, u)
+			}
+		}
+	}
+	if Grid(1, 3, 4, 5) == Grid(2, 3, 4, 5) {
+		t.Fatal("Grid ignores the base seed")
+	}
+	if Grid(1, 3, 4, 5) != Grid(1, 3, 4, 5) {
+		t.Fatal("Grid not stable")
+	}
+}
+
 // The old additive offsets collide across bases: seed+1 under base b
 // equals seed+1 under the same base only — but two *bases* one apart
 // shared entire streams. Stream must not have that property.

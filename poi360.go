@@ -40,6 +40,7 @@ import (
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
 	"poi360/internal/netsim"
+	"poi360/internal/network"
 	"poi360/internal/obs"
 	"poi360/internal/projection"
 	"poi360/internal/session"
@@ -70,9 +71,33 @@ type MultiSessionConfig = session.MultiConfig
 // fixed config at any outer concurrency.
 func RunSharedCell(mc MultiSessionConfig) ([]*SessionResult, error) { return session.RunShared(mc) }
 
+// CityConfig describes a multi-cell city simulation: hundreds of LTE
+// cells advancing in lockstep epochs, thousands of lightweight UE
+// endpoints running the real FBCC/GCC controllers, and grid-walk mobility
+// traces whose cell crossings trigger emergent handovers (detach, sized
+// outage, watchdog degradation, re-attach, recovery). Deterministic for a
+// fixed config at any Workers value.
+type CityConfig = network.Config
+
+// CityResult holds a finished city run: per-UE frame/handover/watchdog
+// stats, per-cell and global Jain fairness, freeze ratios per controller
+// population, and aggregate throughput.
+type CityResult = network.Result
+
+// RunCity executes one multi-cell city simulation to completion.
+func RunCity(cfg CityConfig) (*CityResult, error) { return network.Run(cfg) }
+
+// City rate-controller mixes (CityConfig.Mix).
+const (
+	CityMixSplit = network.MixSplit // even UE ids FBCC, odd GCC
+	CityMixFBCC  = network.MixFBCC
+	CityMixGCC   = network.MixGCC
+)
+
 // JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) of a
 // non-negative allocation — the standard fairness measure for per-UE
-// throughput in a shared cell.
+// throughput in a shared cell. Empty and all-zero allocations both score
+// 1 (the equal-allocation limit; see internal/metrics).
 func JainFairness(xs []float64) float64 { return metrics.JainFairness(xs) }
 
 // Network kinds.

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke bench-profile bench-snapshot bench-gate ci
+.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke live-smoke bench-profile bench-snapshot bench-gate ci
 
 all: build
 
@@ -110,6 +110,17 @@ perf-smoke:
 	$(GO) test -bench 'Obs|SharedCell|ModeMatrix|SessionAllocs' \
 		-benchtime 1x -benchmem -run '^$$' ./internal/compress .
 
+## live-smoke: the real-transport backend under the race detector — the
+## wire codec fuzz corpus, the jitter buffer, the sender transport's
+## synthesized diag feed and the wall-clock scheduler — then a real ~2 s
+## FBCC session between a sender and a receiver process over loopback UDP
+## (scripts/live_smoke.sh), with both processes enforcing minimum media
+## and feedback progress.
+live-smoke:
+	$(GO) test -race ./internal/realnet ./internal/simclock
+	$(GO) test -race -run 'Wire|Reassembler' ./internal/rtp
+	sh scripts/live_smoke.sh
+
 ## bench-profile: rerun the headline session benchmark under the CPU and
 ## heap profilers; profiles land in ./profiles for `go tool pprof`.
 bench-profile:
@@ -135,7 +146,7 @@ bench-gate:
 ## ci: the umbrella target the GitHub workflow fans out over. Runs every
 ## target even after a failure and reports the full list of failed targets
 ## in the trailer, so one red gate doesn't hide another.
-CI_TARGETS := build lint vet test race bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke bench-gate
+CI_TARGETS := build lint vet test race bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke live-smoke bench-gate
 ci:
 	@failed=""; \
 	for t in $(CI_TARGETS); do \

@@ -1,0 +1,339 @@
+// Command poi360-live runs one half of a live POI360 session over a real
+// UDP network path — the real-transport backend behind the same seam the
+// simulator drives (internal/realnet, DESIGN.md §16). One process per
+// endpoint: the receiver listens and feeds reports back over the reverse
+// channel; the sender runs the full encode → pace → wire pipeline with
+// FBCC (diagnostics synthesized from the reports) or plain GCC, so the two
+// controllers can be A/B'd over an actual network instead of the model.
+//
+// Usage examples:
+//
+//	poi360-live -role receiver -addr 127.0.0.1:0 -portfile /tmp/port
+//	poi360-live -role sender -addr 127.0.0.1:$(cat /tmp/port) -rc fbcc -duration 30s
+//
+// Both roles print a one-line JSON summary on exit; -expect-frames /
+// -expect-reports turn the summary into a pass/fail gate for smoke tests.
+// Receiver-side delays are reported relative to the smallest one-way delay
+// observed, so the two endpoints' clocks need not be synchronized.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poi360/internal/compress"
+	"poi360/internal/headmotion"
+	"poi360/internal/lte"
+	"poi360/internal/metrics"
+	"poi360/internal/projection"
+	"poi360/internal/ratecontrol"
+	"poi360/internal/realnet"
+	"poi360/internal/rtp"
+	"poi360/internal/simclock"
+	"poi360/internal/video"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "sender or receiver")
+		addr     = flag.String("addr", "", "sender: receiver address to dial; receiver: address to listen on (port 0 = ephemeral)")
+		duration = flag.Duration("duration", 10*time.Second, "how long this endpoint runs")
+		rc       = flag.String("rc", "fbcc", "sender rate control: gcc or fbcc")
+		rtt      = flag.Duration("rtt", 100*time.Millisecond, "nominal path RTT for FBCC's hold timer (Eq. 6)")
+		hold     = flag.Duration("hold", realnet.DefaultHold, "receiver jitter-buffer hold")
+		seed     = flag.Int64("seed", 1, "seed for the source content and the receiver's head-motion model")
+		portfile = flag.String("portfile", "", "receiver: write the bound UDP port to this file once listening")
+		expFr    = flag.Int("expect-frames", 0, "receiver: exit non-zero unless at least this many frames complete")
+		expRep   = flag.Int("expect-reports", 0, "sender: exit non-zero unless at least this many reports arrive")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fatal("-addr is required")
+	}
+	var err error
+	switch *role {
+	case "sender":
+		err = runSender(*addr, *duration, *rc, *rtt, *seed, *expRep)
+	case "receiver":
+		err = runReceiver(*addr, *duration, *hold, *seed, *portfile, *expFr)
+	default:
+		err = fmt.Errorf("-role must be sender or receiver, got %q", *role)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+// gccPacingFactor mirrors the session's pacing headroom over the video
+// bitrate when the transport loop is GCC-driven.
+const gccPacingFactor = 1.5
+
+// senderSummary is the sender's exit report.
+type senderSummary struct {
+	Role        string  `json:"role"`
+	RC          string  `json:"rc"`
+	Duration    string  `json:"duration"`
+	FramesSent  int     `json:"frames_sent"`
+	PacketsSent uint64  `json:"packets_sent"`
+	BytesSent   uint64  `json:"bytes_sent"`
+	PacerDrops  int64   `json:"pacer_drops"`
+	WriteErrors int64   `json:"write_errors"`
+	Reports     int     `json:"reports"`
+	StaleRpts   int64   `json:"stale_reports"`
+	VideoRate   float64 `json:"video_rate_bps"`
+	RTPRate     float64 `json:"rtp_rate_bps"`
+	Overuses    int     `json:"fbcc_overuses,omitempty"`
+	Degraded    int     `json:"fbcc_degradations,omitempty"`
+}
+
+func runSender(addr string, duration time.Duration, rcName string, rtt time.Duration, seed int64, expectReports int) error {
+	link, err := realnet.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+	wall := simclock.NewWall()
+
+	vcfg := video.DefaultConfig()
+	vcfg.Seed = seed
+	g := vcfg.Grid
+	source := video.NewSource(vcfg)
+	controller := compress.NewAdaptive(g)
+	gccCfg := ratecontrol.DefaultGCCConfig()
+	rgcc := gccCfg.InitialRate
+
+	var fbcc *ratecontrol.FBCC
+	switch rcName {
+	case "fbcc":
+		if fbcc, err = ratecontrol.NewFBCC(ratecontrol.DefaultFBCCConfig(rtt)); err != nil {
+			return err
+		}
+	case "gcc":
+	default:
+		return fmt.Errorf("-rc must be gcc or fbcc, got %q", rcName)
+	}
+
+	roiBelief := g.TileAt(projection.Orientation{})
+	reports := 0
+	tr := realnet.NewTransport(wall, uint32(seed)|1, link.Write, func(rep realnet.Report) {
+		reports++
+		roiBelief = rep.ROI
+		controller.ObserveMismatch(rep.Mismatch)
+		if rep.GCCRate > 0 {
+			rgcc = rep.GCCRate
+		}
+	})
+
+	initialRate := gccPacingFactor * rgcc
+	if fbcc != nil {
+		initialRate = fbcc.RTPRate()
+	}
+	pacer := rtp.NewPacer(wall, rtp.DefaultPacerTick, initialRate, func(pkt rtp.Packet) bool {
+		p := pkt
+		return tr.Send(p.Bytes, &p)
+	})
+	if fbcc != nil {
+		tr.SetDiagListener(func(rep lte.DiagReport) {
+			fbcc.OnDiag(rep)
+			pacer.SetRate(fbcc.RTPRate())
+		})
+	}
+
+	framesSent := 0
+	var lastRv float64
+	var pktScratch []rtp.Packet
+	wall.Ticker(vcfg.FrameInterval(), func() {
+		now := wall.Now()
+		frame := source.NextFrame(now)
+		matrix, mode := controller.Levels(roiBelief)
+		rv := rgcc
+		if fbcc != nil {
+			degraded := fbcc.CheckWatchdog(now)
+			rv = fbcc.VideoRate(now, rgcc)
+			fbcc.SetVideoRate(rv)
+			if degraded {
+				pacer.SetRate(gccPacingFactor * rv)
+			}
+		}
+		lastRv = rv
+		ef := video.Encode(&frame, matrix, rv/float64(vcfg.FPS), roiBelief, mode, vcfg.MaxScale)
+		pktScratch = rtp.AppendPackets(pktScratch, &ef)
+		pacer.Enqueue(pktScratch)
+		framesSent++
+		if fbcc == nil {
+			// WebRTC's default coupling: Rrtp tracks the video bitrate with
+			// modest pacing headroom (§3.3).
+			pacer.SetRate(gccPacingFactor * rv)
+		}
+	})
+
+	go link.Pump(wall, tr.HandleDatagram)
+	wall.Run(duration)
+
+	s := senderSummary{
+		Role: "sender", RC: rcName, Duration: duration.String(),
+		FramesSent: framesSent, PacketsSent: tr.SentPackets(), BytesSent: tr.SentBytes(),
+		PacerDrops: pacer.Drops(), WriteErrors: tr.WriteErrors(),
+		Reports: reports, StaleRpts: tr.StaleReports(),
+		VideoRate: lastRv, RTPRate: pacer.Rate(),
+	}
+	if fbcc != nil {
+		s.Overuses = fbcc.Overuses()
+		s.Degraded = fbcc.Degradations()
+	}
+	emit(s)
+	if expectReports > 0 && reports < expectReports {
+		return fmt.Errorf("live-smoke: %d reports arrived, expected >= %d", reports, expectReports)
+	}
+	return nil
+}
+
+// receiverSummary is the receiver's exit report.
+type receiverSummary struct {
+	Role           string  `json:"role"`
+	Duration       string  `json:"duration"`
+	Packets        uint64  `json:"packets"`
+	Bytes          uint64  `json:"bytes"`
+	FramesComplete int64   `json:"frames_complete"`
+	FramesLost     int64   `json:"frames_lost"`
+	PacketDups     int64   `json:"packet_dups"`
+	PacketLate     int64   `json:"packet_late"`
+	SeqSkipped     int64   `json:"seq_skipped"`
+	JitterDepth    int     `json:"jitter_max_depth"`
+	Reports        uint32  `json:"reports_sent"`
+	ParseErrors    int64   `json:"parse_errors"`
+	BadSSRC        int64   `json:"bad_ssrc"`
+	DelayP50Ms     float64 `json:"delay_above_min_p50_ms"`
+	DelayP90Ms     float64 `json:"delay_above_min_p90_ms"`
+	PSNRMeanDB     float64 `json:"psnr_mean_db"`
+	ThroughputBps  float64 `json:"throughput_mean_bps"`
+}
+
+func runReceiver(addr string, duration, hold time.Duration, seed int64, portfile string, expectFrames int) error {
+	link, err := realnet.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer link.Close()
+	if portfile != "" {
+		port := fmt.Sprintf("%d\n", link.LocalAddr().Port)
+		if err := os.WriteFile(portfile, []byte(port), 0o644); err != nil {
+			return err
+		}
+	}
+	wall := simclock.NewWall()
+
+	vcfg := video.DefaultConfig()
+	g := vcfg.Grid
+	fov := projection.DefaultFoV
+	user := headmotion.NewStochastic(headmotion.Users[1], seed)
+	mismatch := compress.NewMismatchEstimator(g, 500*time.Millisecond)
+	gccRx, err := ratecontrol.NewGCCReceiver(ratecontrol.DefaultGCCConfig())
+	if err != nil {
+		return err
+	}
+	cs := compress.DefaultModeCs()
+
+	// Delay accounting relative to the observed one-way minimum: the two
+	// processes' clocks share no epoch, so absolute one-way delays are
+	// meaningless — the spread above the minimum is what quality feels.
+	const unknown = time.Duration(1<<62 - 1)
+	minOwd := unknown
+	var lastM time.Duration
+	var delaysMs, psnrs []float64
+	var bits float64
+	var frames int64
+	reasm := rtp.NewReassembler(wall, func(cf rtp.CompletedFrame) {
+		frames++
+		now := cf.Arrived
+		owd := now - cf.Frame.Capture
+		netDelay := owd - minOwd
+		if netDelay < 0 {
+			netDelay = 0
+		}
+		actual := user.At(now)
+		psnr := cf.Frame.ROIPSNR(vcfg, actual, fov)
+		scale := cf.Frame.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		lastM = mismatch.Observe(now, g.TileAt(actual), cf.Frame.ROILevel(g, actual)/scale, netDelay)
+		delaysMs = append(delaysMs, float64(netDelay)/float64(time.Millisecond))
+		psnrs = append(psnrs, psnr)
+		bits += cf.Bits
+	})
+
+	rx := realnet.NewReceiver(wall, realnet.ReceiverConfig{
+		Hold: hold,
+		Deliver: func(pkt *rtp.Packet, arrived time.Duration) {
+			ensureSpatial(pkt.Frame, g, cs)
+			owd := arrived - pkt.SentAt
+			if owd < minOwd {
+				minOwd = owd
+			}
+			gccRx.OnPacket(arrived, owd-minOwd, float64(pkt.Bytes)*8, pkt.Seq)
+			reasm.OnPacket(*pkt)
+		},
+		SendReport: link.Write,
+		AppFeedback: func(now time.Duration) (projection.Tile, time.Duration, float64) {
+			return g.TileAt(user.At(now)), lastM, gccRx.Update(now)
+		},
+	})
+
+	go link.Pump(wall, rx.HandleDatagram)
+	wall.Run(duration)
+
+	st := rx.Stats()
+	delay := metrics.Summarize(delaysMs)
+	s := receiverSummary{
+		Role: "receiver", Duration: duration.String(),
+		Packets: st.Packets, Bytes: st.Bytes,
+		FramesComplete: reasm.Completed(), FramesLost: reasm.Lost(),
+		PacketDups: st.Duplicates + reasm.Duplicates(), PacketLate: st.Late + reasm.Late(),
+		SeqSkipped: st.Skipped, JitterDepth: st.MaxDepth,
+		Reports: st.ReportsSent, ParseErrors: st.ParseErrors, BadSSRC: st.BadSSRC,
+		DelayP50Ms: delay.Median, DelayP90Ms: delay.P90,
+		PSNRMeanDB:    metrics.Summarize(psnrs).Mean,
+		ThroughputBps: bits / duration.Seconds(),
+	}
+	emit(s)
+	if expectFrames > 0 && frames < int64(expectFrames) {
+		return fmt.Errorf("live-smoke: %d frames completed, expected >= %d", frames, expectFrames)
+	}
+	return nil
+}
+
+// ensureSpatial rebuilds the frame's per-tile level matrix from the wire
+// metadata: the Eq. 1 matrix is a pure function of (grid, mode C, ROI), so
+// the receiver reconstructs bit-identical levels without the matrix ever
+// crossing the wire. Unknown modes fall back to a flat (uncompressed) map.
+func ensureSpatial(f *video.EncodedFrame, g projection.Grid, cs []float64) {
+	if f.Spatial != nil {
+		return
+	}
+	if f.Mode >= 1 && f.Mode <= len(cs) {
+		f.Spatial = []float64(compress.SharedModeMatrix(g, f.SenderROI, cs[f.Mode-1]))
+		return
+	}
+	flat := make([]float64, g.Tiles())
+	for i := range flat {
+		flat[i] = 1
+	}
+	f.Spatial = flat
+}
+
+func emit(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(string(b))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "poi360-live: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -220,12 +220,12 @@ func (s Script) FeedbackFate(now time.Duration) (drop, dup bool, extra time.Dura
 }
 
 // Announce schedules telemetry markers for every disturbance window on
-// clk: a fault.on event at each window's From and a fault.off at its
+// the scheduler: a fault.on event at each window's From and a fault.off at its
 // Until (matching the half-open [From, Until) activation). The callbacks
 // only emit onto the probe — they read no simulation state and mutate
 // none — so announcing a script cannot change a session's trajectory;
 // with a nil probe nothing is scheduled at all.
-func (s Script) Announce(clk *simclock.Clock, p *obs.Probe) {
+func (s Script) Announce(clk simclock.Scheduler, p *obs.Probe) {
 	if p == nil {
 		return
 	}

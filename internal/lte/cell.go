@@ -138,7 +138,7 @@ func (c UEConfig) Validate() error {
 //     the cross-layer property FBCC exploits, while long-served UEs yield
 //     to starved ones through the EWMA denominator.
 type Cell struct {
-	clk *simclock.Clock
+	clk simclock.Scheduler
 	cfg CellConfig
 	rng *rand.Rand
 
@@ -182,7 +182,7 @@ func (s *cellSoA) add(cfg UEConfig) {
 }
 
 // NewCell builds a cell on clk. Attach UEs with AddUE before Start.
-func NewCell(clk *simclock.Clock, cfg CellConfig) (*Cell, error) {
+func NewCell(clk simclock.Scheduler, cfg CellConfig) (*Cell, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

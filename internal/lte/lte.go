@@ -189,7 +189,7 @@ type Uplink struct {
 // The cell's capacity process and the UE's grant draws share one RNG
 // stream seeded from cfg.Profile.Seed, preserving the exact trajectory of
 // the pre-Cell single-user model.
-func NewUplink(clk *simclock.Clock, cfg Config, deliver func(Packet)) (*Uplink, error) {
+func NewUplink(clk simclock.Scheduler, cfg Config, deliver func(Packet)) (*Uplink, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -27,7 +27,7 @@ type LinkFault func(now time.Duration) (drop, dup bool, extra time.Duration)
 // DelayLink delivers messages after a stochastic one-way delay while
 // preserving FIFO order (a later send never overtakes an earlier one).
 type DelayLink struct {
-	clk       *simclock.Clock
+	clk       simclock.Scheduler
 	rng       *rand.Rand
 	base      time.Duration
 	jitterStd time.Duration
@@ -52,7 +52,7 @@ func (l *DelayLink) SetProbe(p *obs.Probe) { l.probe = p }
 
 // NewDelayLink creates a link with the given delay distribution; deliver is
 // invoked on the simulation goroutine when a message arrives.
-func NewDelayLink(clk *simclock.Clock, seed int64, base, jitterStd time.Duration, spikeProb float64, spikeMax time.Duration, deliver func(any)) *DelayLink {
+func NewDelayLink(clk simclock.Scheduler, seed int64, base, jitterStd time.Duration, spikeProb float64, spikeMax time.Duration, deliver func(any)) *DelayLink {
 	if deliver == nil {
 		deliver = func(any) {}
 	}
@@ -122,7 +122,7 @@ func (l *DelayLink) Send(payload any) {
 // Queue is a rate-limited droptail FIFO: the standard fluid model of a
 // bottleneck link with a finite buffer.
 type Queue struct {
-	clk       *simclock.Clock
+	clk       simclock.Scheduler
 	rateBps   float64
 	capBytes  int
 	deliver   func(any)
@@ -151,7 +151,7 @@ type queued struct {
 func (q *Queue) SetProbe(p *obs.Probe) { q.probe = p }
 
 // NewQueue creates a bottleneck of rateBps with capBytes of buffering.
-func NewQueue(clk *simclock.Clock, rateBps float64, capBytes int, deliver func(any)) *Queue {
+func NewQueue(clk simclock.Scheduler, rateBps float64, capBytes int, deliver func(any)) *Queue {
 	if rateBps <= 0 || capBytes <= 0 {
 		panic(fmt.Sprintf("netsim: invalid queue rate=%g cap=%d", rateBps, capBytes))
 	}
@@ -221,7 +221,7 @@ func (q *Queue) SetRate(rateBps float64) {
 // CrossTraffic injects bursty competing load into a Queue: alternating
 // on-periods (packets at Rate) and off-periods, both exponential.
 type CrossTraffic struct {
-	clk     *simclock.Clock
+	clk     simclock.Scheduler
 	rng     *rand.Rand
 	q       *Queue
 	rateBps float64
@@ -232,7 +232,7 @@ type CrossTraffic struct {
 
 // NewCrossTraffic starts an on/off source into q. A zero meanOff keeps the
 // source always on.
-func NewCrossTraffic(clk *simclock.Clock, seed int64, q *Queue, rateBps float64, meanOn, meanOff time.Duration) *CrossTraffic {
+func NewCrossTraffic(clk simclock.Scheduler, seed int64, q *Queue, rateBps float64, meanOn, meanOff time.Duration) *CrossTraffic {
 	ct := &CrossTraffic{
 		clk:     clk,
 		rng:     rand.New(rand.NewSource(seed)),
@@ -359,7 +359,7 @@ type Cellular struct {
 // receives feedback payloads at the sender. The forward and reverse
 // wide-area links derive their jitter streams from the cell seed via the
 // named "core"/"rev" streams (internal/seeds).
-func NewCellular(clk *simclock.Clock, lteCfg lte.Config, prof PathProfile, deliverFwd, deliverRev func(any)) (*Cellular, error) {
+func NewCellular(clk simclock.Scheduler, lteCfg lte.Config, prof PathProfile, deliverFwd, deliverRev func(any)) (*Cellular, error) {
 	c := &Cellular{}
 	c.core = newPathLink(clk, lteCfg.Profile.Seed, "core", prof, deliverFwd)
 	ul, err := lte.NewUplink(clk, lteCfg, func(p lte.Packet) { c.core.Send(p.Payload) })
@@ -375,13 +375,13 @@ func NewCellular(clk *simclock.Clock, lteCfg lte.Config, prof PathProfile, deliv
 
 // newPathLink builds the forward core-network segment of a path with its
 // jitter stream derived from (seed, tag).
-func newPathLink(clk *simclock.Clock, seed int64, tag string, prof PathProfile, deliver func(any)) *DelayLink {
+func newPathLink(clk simclock.Scheduler, seed int64, tag string, prof PathProfile, deliver func(any)) *DelayLink {
 	return NewDelayLink(clk, seeds.Stream(seed, tag), prof.CoreBase, prof.CoreJitterStd, prof.CoreSpikeProb, prof.CoreSpikeMax, deliver)
 }
 
 // newRevLink builds the reverse feedback segment of a path with its jitter
 // stream derived from (seed, "rev").
-func newRevLink(clk *simclock.Clock, seed int64, prof PathProfile, deliver func(any)) *DelayLink {
+func newRevLink(clk simclock.Scheduler, seed int64, prof PathProfile, deliver func(any)) *DelayLink {
 	return NewDelayLink(clk, seeds.Stream(seed, "rev"), prof.RevBase, prof.RevJitterStd, prof.RevSpikeProb, prof.RevSpikeMax, deliver)
 }
 
@@ -425,7 +425,7 @@ func (c *Cellular) DiagStalled() int64 { return c.UE.DiagStalled() }
 // instead of being modeled by a scalar load. Attach every session, then
 // call Start exactly once before running the clock.
 type SharedCell struct {
-	clk *simclock.Clock
+	clk simclock.Scheduler
 	// Cell is the shared radio resource (exposed for tests and traces).
 	Cell *lte.Cell
 	prof PathProfile
@@ -433,7 +433,7 @@ type SharedCell struct {
 
 // NewSharedCell builds a contended cell on clk. Every session attached via
 // Attach shares cellCfg.Profile's capacity.
-func NewSharedCell(clk *simclock.Clock, cellCfg lte.CellConfig, prof PathProfile) (*SharedCell, error) {
+func NewSharedCell(clk simclock.Scheduler, cellCfg lte.CellConfig, prof PathProfile) (*SharedCell, error) {
 	cell, err := lte.NewCell(clk, cellCfg)
 	if err != nil {
 		return nil, err
@@ -476,7 +476,7 @@ const WirelineRate = 20e6
 // NewWireline builds the wireline transport. The forward and reverse links
 // derive their jitter streams from seed via the named "core"/"rev" streams
 // (internal/seeds).
-func NewWireline(clk *simclock.Clock, seed int64, prof PathProfile, deliverFwd, deliverRev func(any)) *Wireline {
+func NewWireline(clk simclock.Scheduler, seed int64, prof PathProfile, deliverFwd, deliverRev func(any)) *Wireline {
 	w := &Wireline{}
 	w.core = newPathLink(clk, seed, "core", prof, deliverFwd)
 	w.q = NewQueue(clk, WirelineRate, 256*1024, func(p any) { w.core.Send(p) })

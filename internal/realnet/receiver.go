@@ -1,0 +1,207 @@
+// The receiver half of the live backend: SSRC validation, the jitter
+// buffer, per-frame metadata reconstruction, and the periodic reverse
+// report. Released packets come out in transport-sequence order carrying a
+// shared *video.EncodedFrame per frame — the same delivery contract the
+// simulated forward path gives session.DeliverForward.
+
+package realnet
+
+import (
+	"time"
+
+	"poi360/internal/projection"
+	"poi360/internal/rtp"
+	"poi360/internal/simclock"
+	"poi360/internal/video"
+)
+
+// DefaultReportEvery is the reverse-report cadence. It matches the modem
+// diagnostic period so every synthesized diag interval on the sender spans
+// fresh accounting.
+const DefaultReportEvery = 40 * time.Millisecond
+
+// frameCacheMax bounds the frame-metadata cache; when exceeded, frames
+// more than frameCachePrune behind the newest are dropped.
+const (
+	frameCacheMax   = 96
+	frameCachePrune = 48
+)
+
+// ReceiverConfig configures a live Receiver.
+type ReceiverConfig struct {
+	// SSRC locks the stream; 0 adopts the first packet's SSRC.
+	SSRC uint32
+	// Hold is the jitter-buffer hold (0 = DefaultHold).
+	Hold time.Duration
+	// ReportEvery is the reverse-report cadence (0 = DefaultReportEvery).
+	ReportEvery time.Duration
+	// Deliver receives each released packet in sequence order, with its
+	// receipt instant (receiver clock). Packets of one frame share one
+	// *video.EncodedFrame, so per-frame state (a reconstructed Spatial
+	// matrix, say) can hang off the frame. The pointee is only valid
+	// within the call. Required.
+	Deliver func(pkt *rtp.Packet, arrived time.Duration)
+	// SendReport writes one report datagram to the sender (Link.Write).
+	// Nil disables reporting (deterministic tests drive reports manually).
+	SendReport func([]byte) error
+	// AppFeedback, if non-nil, supplies the application feedback for each
+	// report: viewer ROI, window-averaged mismatch M, GCC target rate.
+	AppFeedback func(now time.Duration) (roi projection.Tile, m time.Duration, rate float64)
+}
+
+// Receiver is the live receive pipeline. All methods must run on the
+// scheduler goroutine (Link.Pump delivers datagrams there).
+type Receiver struct {
+	clk simclock.Scheduler
+	cfg ReceiverConfig
+	jb  *JitterBuffer
+
+	ssrc       uint32
+	ssrcLocked bool
+	badSSRC    int64
+	parseErrs  int64
+
+	// Cumulative accounting for reports.
+	recvBytes  uint64
+	recvPkts   uint64
+	highestSeq int64
+
+	frames map[int]*video.EncodedFrame
+
+	reportSeq  uint32
+	reportErrs int64
+	scratch    []byte
+}
+
+// NewReceiver builds the receive pipeline and, when cfg.SendReport is set,
+// starts the report ticker.
+func NewReceiver(clk simclock.Scheduler, cfg ReceiverConfig) *Receiver {
+	if cfg.Deliver == nil {
+		panic("realnet: ReceiverConfig.Deliver is required")
+	}
+	if cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = DefaultReportEvery
+	}
+	r := &Receiver{
+		clk:        clk,
+		cfg:        cfg,
+		ssrc:       cfg.SSRC,
+		ssrcLocked: cfg.SSRC != 0,
+		highestSeq: -1,
+		frames:     map[int]*video.EncodedFrame{},
+		scratch:    make([]byte, 0, ReportLen),
+	}
+	r.jb = NewJitterBuffer(clk, cfg.Hold, r.release)
+	if cfg.SendReport != nil {
+		clk.Ticker(cfg.ReportEvery, r.reportTick)
+	}
+	return r
+}
+
+// HandleDatagram ingests one media datagram (scheduler goroutine; wire it
+// as the receiver Pump's handler).
+func (r *Receiver) HandleDatagram(b []byte) {
+	h, err := rtp.ParseWire(b)
+	if err != nil {
+		r.parseErrs++
+		return
+	}
+	if !r.ssrcLocked {
+		r.ssrc = h.SSRC
+		r.ssrcLocked = true
+	} else if h.SSRC != r.ssrc {
+		r.badSSRC++
+		return
+	}
+	r.recvBytes += uint64(len(b))
+	r.recvPkts++
+	if h.Seq > r.highestSeq {
+		r.highestSeq = h.Seq
+	}
+	r.jb.Push(h)
+}
+
+// release is the jitter buffer's delivery point: rebuild the packet view
+// around the frame's shared metadata and hand it to the consumer.
+func (r *Receiver) release(h rtp.WireHeader, arrived time.Duration) {
+	f, ok := r.frames[h.FrameSeq]
+	if !ok {
+		f = new(video.EncodedFrame)
+		h.Materialize(f)
+		r.frames[h.FrameSeq] = f
+		if len(r.frames) > frameCacheMax {
+			for seq := range r.frames {
+				if seq < h.FrameSeq-frameCachePrune {
+					delete(r.frames, seq)
+				}
+			}
+		}
+	}
+	pkt := rtp.Packet{
+		FrameSeq: h.FrameSeq,
+		Index:    h.Index,
+		Count:    h.Count,
+		Bytes:    h.Bytes,
+		Frame:    f,
+		SentAt:   h.SentAt,
+		Seq:      h.Seq,
+	}
+	r.cfg.Deliver(&pkt, arrived)
+}
+
+// reportTick emits one reverse report.
+func (r *Receiver) reportTick() {
+	now := r.clk.Now()
+	rep := Report{
+		Seq:        r.reportSeq + 1,
+		SentAt:     now,
+		CumBytes:   r.recvBytes,
+		CumPackets: r.recvPkts,
+		HighestSeq: r.highestSeq,
+	}
+	if r.cfg.AppFeedback != nil {
+		rep.ROI, rep.Mismatch, rep.GCCRate = r.cfg.AppFeedback(now)
+	}
+	r.scratch = rep.AppendTo(r.scratch[:0])
+	if err := r.cfg.SendReport(r.scratch); err != nil {
+		// ErrNoPeer before the first media packet is routine; either way
+		// the report is simply lost, like any UDP datagram.
+		r.reportErrs++
+		return
+	}
+	r.reportSeq++
+}
+
+// ReceiverStats is a snapshot of the receive pipeline's counters.
+type ReceiverStats struct {
+	SSRC        uint32
+	Bytes       uint64 // accepted media wire bytes
+	Packets     uint64 // accepted media datagrams
+	HighestSeq  int64  // highest transport sequence seen (-1: none)
+	BadSSRC     int64  // datagrams rejected by SSRC validation
+	ParseErrors int64  // datagrams rejected by the wire codec
+	Late        int64  // jitter buffer: sequence already released
+	Duplicates  int64  // jitter buffer: sequence already buffered
+	Skipped     int64  // jitter buffer: sequences abandoned at hold expiry
+	MaxDepth    int    // jitter buffer high-water mark
+	ReportsSent uint32
+	ReportErrs  int64
+}
+
+// Stats snapshots the pipeline counters (scheduler goroutine).
+func (r *Receiver) Stats() ReceiverStats {
+	return ReceiverStats{
+		SSRC:        r.ssrc,
+		Bytes:       r.recvBytes,
+		Packets:     r.recvPkts,
+		HighestSeq:  r.highestSeq,
+		BadSSRC:     r.badSSRC,
+		ParseErrors: r.parseErrs,
+		Late:        r.jb.Late(),
+		Duplicates:  r.jb.Duplicates(),
+		Skipped:     r.jb.Skipped(),
+		MaxDepth:    r.jb.MaxDepth(),
+		ReportsSent: r.reportSeq,
+		ReportErrs:  r.reportErrs,
+	}
+}

@@ -1,0 +1,134 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"poi360/internal/projection"
+	"poi360/internal/rtp"
+	"poi360/internal/simclock"
+	"poi360/internal/video"
+)
+
+// wireFrame marshals a whole frame's packets, one datagram each.
+func wireFrame(frameSeq, count int, firstSeq int64, ssrc uint32) [][]byte {
+	f := &video.EncodedFrame{Seq: frameSeq, Capture: time.Duration(frameSeq) * 33 * time.Millisecond, Scale: 1}
+	out := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		pkt := rtp.Packet{
+			FrameSeq: frameSeq, Index: i, Count: count, Bytes: 100,
+			Frame: f, SentAt: f.Capture + time.Millisecond, Seq: firstSeq + int64(i),
+		}
+		out[i] = pkt.AppendWire(nil, ssrc)
+	}
+	return out
+}
+
+func TestReceiverDeliversSharedFrame(t *testing.T) {
+	clk := simclock.New()
+	var seqs []int64
+	var frames []*video.EncodedFrame
+	r := NewReceiver(clk, ReceiverConfig{
+		Deliver: func(pkt *rtp.Packet, _ time.Duration) {
+			seqs = append(seqs, pkt.Seq)
+			frames = append(frames, pkt.Frame)
+		},
+	})
+	for _, d := range wireFrame(0, 3, 0, 42) {
+		r.HandleDatagram(d)
+	}
+	clk.Run(100 * time.Millisecond)
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[2] != 2 {
+		t.Fatalf("delivered %v, want [0 1 2]", seqs)
+	}
+	if frames[0] != frames[1] || frames[1] != frames[2] {
+		t.Fatal("packets of one frame must share one *video.EncodedFrame")
+	}
+	if frames[0].Seq != 0 || frames[0].Capture != 0 {
+		t.Fatalf("frame metadata %+v skewed", frames[0])
+	}
+	st := r.Stats()
+	if st.SSRC != 42 || st.Packets != 3 || st.HighestSeq != 2 {
+		t.Fatalf("stats %+v skewed", st)
+	}
+}
+
+func TestReceiverSSRCValidation(t *testing.T) {
+	clk := simclock.New()
+	var n int
+	r := NewReceiver(clk, ReceiverConfig{
+		Deliver: func(*rtp.Packet, time.Duration) { n++ },
+	})
+	r.HandleDatagram(wireFrame(0, 1, 0, 7)[0]) // locks SSRC 7
+	r.HandleDatagram(wireFrame(1, 1, 1, 9)[0]) // wrong stream
+	r.HandleDatagram(wireFrame(2, 1, 2, 7)[0]) // right stream
+	r.HandleDatagram([]byte{0x90, 96, 0, 0})   // garbage
+	clk.Run(100 * time.Millisecond)
+	if n != 2 {
+		t.Fatalf("delivered %d packets, want 2", n)
+	}
+	st := r.Stats()
+	if st.BadSSRC != 1 {
+		t.Errorf("BadSSRC = %d, want 1", st.BadSSRC)
+	}
+	if st.ParseErrors != 1 {
+		t.Errorf("ParseErrors = %d, want 1", st.ParseErrors)
+	}
+}
+
+func TestReceiverReportsAccountAndCarryAppFeedback(t *testing.T) {
+	clk := simclock.New()
+	var reports []Report
+	r := NewReceiver(clk, ReceiverConfig{
+		ReportEvery: 40 * time.Millisecond,
+		Deliver:     func(*rtp.Packet, time.Duration) {},
+		SendReport: func(b []byte) error {
+			rep, err := ParseReport(b)
+			if err != nil {
+				t.Fatalf("receiver emitted unparseable report: %v", err)
+			}
+			reports = append(reports, rep)
+			return nil
+		},
+		AppFeedback: func(now time.Duration) (projection.Tile, time.Duration, float64) {
+			return projection.Tile{I: 4, J: 2}, 17 * time.Millisecond, 2e6
+		},
+	})
+	var bytes int
+	clk.Schedule(5*time.Millisecond, func() {
+		for _, d := range wireFrame(0, 2, 0, 1) {
+			bytes += len(d)
+			r.HandleDatagram(d)
+		}
+	})
+	clk.Run(90 * time.Millisecond)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports over 90ms at 40ms cadence, want 2", len(reports))
+	}
+	rep := reports[0]
+	if rep.Seq != 1 || rep.CumPackets != 2 || rep.CumBytes != uint64(bytes) || rep.HighestSeq != 1 {
+		t.Fatalf("report accounting %+v skewed", rep)
+	}
+	if rep.ROI != (projection.Tile{I: 4, J: 2}) || rep.Mismatch != 17*time.Millisecond || rep.GCCRate != 2e6 {
+		t.Fatalf("app feedback %+v skewed", rep)
+	}
+	if reports[1].Seq != 2 {
+		t.Fatalf("report seq %d, want 2", reports[1].Seq)
+	}
+}
+
+func TestReceiverReportsWaitForPeer(t *testing.T) {
+	clk := simclock.New()
+	r := NewReceiver(clk, ReceiverConfig{
+		Deliver:    func(*rtp.Packet, time.Duration) {},
+		SendReport: func([]byte) error { return ErrNoPeer },
+	})
+	clk.Run(200 * time.Millisecond)
+	st := r.Stats()
+	if st.ReportsSent != 0 {
+		t.Fatalf("ReportsSent = %d with no peer, want 0", st.ReportsSent)
+	}
+	if st.ReportErrs == 0 {
+		t.Fatal("ErrNoPeer ticks not counted")
+	}
+}

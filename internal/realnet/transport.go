@@ -1,0 +1,208 @@
+// The sender-side live transport: the netsim.Transport implementation a
+// live sender pipeline drives exactly as the simulated session drives its
+// cellular transport. Send marshals the boxed *rtp.Packet with the wire
+// codec and writes one UDP datagram; receiver reports arriving on the
+// reverse channel keep a cumulative-ack view from which the transport
+// synthesizes the two quantities FBCC reads from the modem diag feed
+// (DESIGN.md §16): the in-flight byte estimate stands in for the firmware
+// buffer occupancy, and the per-interval delivered bits stand in for the
+// granted TBS sum. With no reports (receiver gone, reverse path dead) the
+// diag feed goes silent and FBCC's staleness watchdog degrades to GCC —
+// the same graceful-degradation path the fault scripts exercise in
+// simulation.
+
+package realnet
+
+import (
+	"poi360/internal/lte"
+	"poi360/internal/netsim"
+	"poi360/internal/rtp"
+	"poi360/internal/simclock"
+)
+
+// Transport is the sender half of the live backend. Construct with
+// NewTransport, then hand it to the sender pipeline as its
+// netsim.Transport. All methods must run on the scheduler goroutine
+// (Link.Pump delivers datagrams there).
+type Transport struct {
+	clk   simclock.Scheduler
+	write func([]byte) error
+	ssrc  uint32
+
+	scratch []byte // wire marshal buffer, reused across Send calls
+
+	// Forward-path accounting.
+	sentBytes uint64 // cumulative wire bytes written
+	sentPkts  uint64
+	writeErrs int64
+
+	// Reverse-path state from receiver reports.
+	haveReport bool
+	lastSeq    uint32
+	ackedBytes float64 // CumBytes plus the estimated wire bytes of lost packets
+	staleRpts  int64
+	parseErrs  int64
+	onReport   func(Report)
+
+	// Synthesized diagnostics.
+	diag          func(lte.DiagReport)
+	diagLastAcked float64
+
+	fault netsim.LinkFault
+
+	// feedbackDropped counts SendFeedback calls: the sender half has no
+	// local viewer, so a full simulated session attached here by mistake
+	// would silently lose its feedback — the counter makes that visible.
+	feedbackDropped int64
+}
+
+// NewTransport builds the sender-side transport. write sends one datagram
+// towards the receiver (Link.Write); onReport, if non-nil, receives each
+// accepted receiver report so the application can integrate ROI, mismatch
+// and the GCC rate. The diagnostic synthesis ticker starts immediately and
+// stays silent until the first report arrives.
+func NewTransport(clk simclock.Scheduler, ssrc uint32, write func([]byte) error, onReport func(Report)) *Transport {
+	t := &Transport{
+		clk:      clk,
+		write:    write,
+		ssrc:     ssrc,
+		scratch:  make([]byte, 0, maxDatagram),
+		onReport: onReport,
+	}
+	clk.Ticker(lte.DefaultDiagPeriod, t.diagTick)
+	return t
+}
+
+// Send implements netsim.Transport: payload must be a *rtp.Packet (the
+// boxed form the session's pacer emits). The wire datagram is written
+// towards the receiver; false reports a socket-level write failure — the
+// live analogue of an access-buffer drop.
+func (t *Transport) Send(bytes int, payload any) bool {
+	pkt := payload.(*rtp.Packet)
+	t.scratch = pkt.AppendWire(t.scratch[:0], t.ssrc)
+	if err := t.write(t.scratch); err != nil {
+		t.writeErrs++
+		return false
+	}
+	t.sentBytes += uint64(len(t.scratch))
+	t.sentPkts++
+	return true
+}
+
+// SendFeedback implements netsim.Transport. The sender half never
+// originates feedback (the viewer lives in the receiver process); calls
+// are counted and dropped.
+func (t *Transport) SendFeedback(any) { t.feedbackDropped++ }
+
+// AccessBufferBytes implements netsim.Transport: the in-flight estimate
+// sent − acked − lost, the live stand-in for the firmware buffer level
+// FBCC steers (Eq. 7). Before the first report it grows with sent bytes,
+// exactly like a buffer nothing is draining.
+func (t *Transport) AccessBufferBytes() int {
+	inflight := float64(t.sentBytes) - t.ackedBytes
+	if inflight < 0 {
+		return 0
+	}
+	return int(inflight)
+}
+
+// SetDiagListener implements netsim.Transport: fn receives a synthesized
+// lte.DiagReport every lte.DefaultDiagPeriod once receiver reports flow.
+func (t *Transport) SetDiagListener(fn func(lte.DiagReport)) { t.diag = fn }
+
+// SetFeedbackFault implements netsim.Transport. Live mode has a real
+// network to provide disturbances, but the hook still works — applied at
+// the report-delivery point — so fault scripts can be rehearsed against
+// the live stack too.
+func (t *Transport) SetFeedbackFault(fn netsim.LinkFault) { t.fault = fn }
+
+// HandleDatagram ingests one reverse-channel datagram (scheduler
+// goroutine; wire it as the sender Pump's handler).
+func (t *Transport) HandleDatagram(b []byte) {
+	rep, err := ParseReport(b)
+	if err != nil {
+		t.parseErrs++
+		return
+	}
+	if t.fault != nil {
+		drop, dup, extra := t.fault(t.clk.Now())
+		if drop {
+			return
+		}
+		copies := 1
+		if dup {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			if extra > 0 {
+				t.clk.ScheduleAfter(extra, func() { t.applyReport(rep) })
+			} else {
+				t.applyReport(rep)
+			}
+		}
+		return
+	}
+	t.applyReport(rep)
+}
+
+// applyReport integrates one report, dropping reordered ones.
+func (t *Transport) applyReport(rep Report) {
+	if t.haveReport && rep.Seq <= t.lastSeq {
+		t.staleRpts++
+		return
+	}
+	t.lastSeq = rep.Seq
+	t.haveReport = true
+	// Packets between the highest sequence seen and the ones received are
+	// lost or still in flight behind it; counting them acked keeps the
+	// in-flight estimate from inflating permanently under loss. Their wire
+	// size is estimated at the stream's mean.
+	acked := float64(rep.CumBytes)
+	if lost := float64(rep.HighestSeq+1) - float64(rep.CumPackets); lost > 0 && rep.CumPackets > 0 {
+		acked += lost * float64(rep.CumBytes) / float64(rep.CumPackets)
+	}
+	if acked > t.ackedBytes { // cumulative view never regresses
+		t.ackedBytes = acked
+	}
+	if t.onReport != nil {
+		t.onReport(rep)
+	}
+}
+
+// diagTick synthesizes one diagnostic report per period: buffer = the
+// in-flight estimate, TBS sum = bits newly acked this interval, over the
+// interval's subframe count — the same shape lte.UE emits, so FBCC's
+// Eq. 3–7 pipeline runs unchanged.
+func (t *Transport) diagTick() {
+	delta := t.ackedBytes - t.diagLastAcked
+	t.diagLastAcked = t.ackedBytes
+	if t.diag == nil || !t.haveReport {
+		return
+	}
+	t.diag(lte.DiagReport{
+		At:          t.clk.Now(),
+		BufferBytes: t.AccessBufferBytes(),
+		SumTBSBits:  delta * 8,
+		Subframes:   int(lte.DefaultDiagPeriod / lte.Subframe),
+	})
+}
+
+// SentPackets reports media datagrams written.
+func (t *Transport) SentPackets() uint64 { return t.sentPkts }
+
+// SentBytes reports cumulative wire bytes written.
+func (t *Transport) SentBytes() uint64 { return t.sentBytes }
+
+// WriteErrors reports socket-level send failures.
+func (t *Transport) WriteErrors() int64 { return t.writeErrs }
+
+// Reports reports whether at least one receiver report has been accepted.
+func (t *Transport) Reports() bool { return t.haveReport }
+
+// StaleReports reports reverse-channel reports dropped as reordered.
+func (t *Transport) StaleReports() int64 { return t.staleRpts }
+
+// ParseErrors reports reverse-channel datagrams rejected by the codec.
+func (t *Transport) ParseErrors() int64 { return t.parseErrs }
+
+var _ netsim.Transport = (*Transport)(nil)

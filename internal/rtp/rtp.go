@@ -64,7 +64,7 @@ func AppendPackets(dst []Packet, f *video.EncodedFrame) []Packet {
 // controlled rate. Its tick is fine-grained (5 ms) so the firmware buffer
 // sees a smooth arrival process.
 type Pacer struct {
-	clk     *simclock.Clock
+	clk     simclock.Scheduler
 	tick    time.Duration
 	tickSec float64 // tick.Seconds(), hoisted off the per-tick path
 	rate    float64 // bits/s
@@ -85,7 +85,7 @@ const DefaultPacerTick = 5 * time.Millisecond
 
 // NewPacer creates and starts a pacer. send pushes one packet into the
 // transport and reports false if the access buffer rejected it.
-func NewPacer(clk *simclock.Clock, tick time.Duration, initialRate float64, send func(Packet) bool) *Pacer {
+func NewPacer(clk simclock.Scheduler, tick time.Duration, initialRate float64, send func(Packet) bool) *Pacer {
 	if tick <= 0 {
 		panic("rtp: pacer tick must be positive")
 	}
@@ -175,13 +175,25 @@ type CompletedFrame struct {
 // Reassembler collects packets into frames and invokes the completion
 // callback once per frame. Frames whose packets never all arrive (modem
 // drops) are abandoned when a newer frame completes and reported as lost.
+//
+// The reassembler is safe against the arrival patterns of a real network
+// path, not just the in-order in-memory simulation: duplicated packets are
+// detected by a per-frame receipt bitmap (a frame can never complete early
+// or double-complete), and stragglers of frames already completed or
+// abandoned are dropped at the door instead of seeding a ghost partial
+// that would later be double-counted as a lost frame.
 type Reassembler struct {
-	clk      *simclock.Clock
+	clk      simclock.Scheduler
 	onFrame  func(CompletedFrame)
 	partial  map[int]*partialFrame
 	free     []*partialFrame // recycled partials; one live per in-flight frame
 	lost     int64
 	complete int64
+	dups     int64
+	late     int64
+	// floor is the highest frame sequence already completed or abandoned;
+	// packets at or below it are late arrivals with no frame to join.
+	floor int
 }
 
 type partialFrame struct {
@@ -190,25 +202,71 @@ type partialFrame struct {
 	frame     *video.EncodedFrame
 	firstSent time.Duration
 	bits      float64
+	// seen is the per-index receipt bitmap; its backing array is recycled
+	// with the partial.
+	seen []uint64
+}
+
+// reset re-arms a (possibly recycled) partial for pkt's frame, reusing the
+// bitmap's backing array.
+func (pf *partialFrame) reset(pkt Packet) {
+	words := (pkt.Count + 63) / 64
+	seen := pf.seen
+	if cap(seen) < words {
+		seen = make([]uint64, words)
+	} else {
+		seen = seen[:words]
+		for i := range seen {
+			seen[i] = 0
+		}
+	}
+	*pf = partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt, seen: seen}
+}
+
+// mark records receipt of packet index idx and reports whether it had
+// already been received.
+func (pf *partialFrame) mark(idx int) (dup bool) {
+	w, b := idx/64, uint(idx%64)
+	if pf.seen[w]&(1<<b) != 0 {
+		return true
+	}
+	pf.seen[w] |= 1 << b
+	return false
 }
 
 // NewReassembler creates a receiver-side frame assembler.
-func NewReassembler(clk *simclock.Clock, onFrame func(CompletedFrame)) *Reassembler {
-	return &Reassembler{clk: clk, onFrame: onFrame, partial: map[int]*partialFrame{}}
+func NewReassembler(clk simclock.Scheduler, onFrame func(CompletedFrame)) *Reassembler {
+	return &Reassembler{clk: clk, onFrame: onFrame, partial: map[int]*partialFrame{}, floor: -1}
 }
 
 // OnPacket ingests one arriving packet.
 func (r *Reassembler) OnPacket(pkt Packet) {
+	if pkt.FrameSeq <= r.floor {
+		// The frame already completed or was abandoned: a duplicate, or a
+		// straggler reordered past its frame's lifetime. Seeding a fresh
+		// partial here would count the frame lost a second time when the
+		// ghost is later abandoned.
+		r.late++
+		return
+	}
 	pf := r.partial[pkt.FrameSeq]
 	if pf == nil {
 		if n := len(r.free); n > 0 {
 			pf = r.free[n-1]
 			r.free = r.free[:n-1]
-			*pf = partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt}
 		} else {
-			pf = &partialFrame{count: pkt.Count, frame: pkt.Frame, firstSent: pkt.SentAt}
+			pf = &partialFrame{}
 		}
+		pf.reset(pkt)
 		r.partial[pkt.FrameSeq] = pf
+	}
+	if pkt.Index < 0 || pkt.Index >= pf.count || pf.mark(pkt.Index) {
+		// Already received (a UDP duplicate), or an index inconsistent
+		// with the frame's packet count (corrupt header that slipped
+		// through): either way there is nothing new to add, and counting
+		// it would complete the frame early.
+		r.dups++
+		return
 	}
 	pf.got++
 	pf.bits += float64(pkt.Bytes) * 8
@@ -230,6 +288,7 @@ func (r *Reassembler) OnPacket(pkt Packet) {
 		}
 	}
 	r.complete++
+	r.floor = pkt.FrameSeq
 	done := CompletedFrame{Frame: pf.frame, Arrived: r.clk.Now(), Sent: pf.firstSent, Bits: pf.bits}
 	pf.frame = nil
 	r.free = append(r.free, pf)
@@ -241,3 +300,11 @@ func (r *Reassembler) Lost() int64 { return r.lost }
 
 // Completed reports fully delivered frames.
 func (r *Reassembler) Completed() int64 { return r.complete }
+
+// Duplicates reports packets discarded because their frame index had
+// already been received (UDP duplication).
+func (r *Reassembler) Duplicates() int64 { return r.dups }
+
+// Late reports packets discarded because their frame had already completed
+// or been abandoned (UDP reordering past a frame boundary).
+func (r *Reassembler) Late() int64 { return r.late }

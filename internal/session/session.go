@@ -364,8 +364,9 @@ type feedback struct {
 // compression controller, the encoder/pacer sender, the viewer with its
 // head-motion model, and the feedback loop — decoupled from the clock and
 // network that carry it. Build with New, then Attach to an externally
-// owned simulation clock and transport (a private one, as Run does, or a
-// shared cell's, as RunShared does), run the clock, and collect Result.
+// owned scheduler and transport — a private simulation clock, as Run does,
+// a shared cell's, as RunShared does, or any other simclock.Scheduler
+// backend — run the scheduler, and collect Result.
 //
 // A Session shares nothing with other sessions except what it is attached
 // to, so any number of sessions can ride one clock — the multi-user
@@ -375,7 +376,7 @@ type Session struct {
 	cfg Config
 	res *Result
 
-	clk       *simclock.Clock
+	clk       simclock.Scheduler
 	transport netsim.Transport
 
 	// Viewer state.
@@ -570,13 +571,13 @@ func (s *Session) DeliverFeedback(p any) {
 	s.rgcc = fb.rgcc
 }
 
-// Attach binds the session to an externally owned clock and transport and
-// registers every periodic activity (sender frames, viewer feedback,
+// Attach binds the session to an externally owned scheduler and transport
+// and registers every periodic activity (sender frames, viewer feedback,
 // pacing, diagnostics, throughput sampling, warmup snapshots) on clk. The
 // transport's forward and reverse deliveries must already be wired to
 // DeliverForward / DeliverFeedback. Attach must be called exactly once,
 // before the clock runs.
-func (s *Session) Attach(clk *simclock.Clock, transport netsim.Transport) error {
+func (s *Session) Attach(clk simclock.Scheduler, transport netsim.Transport) error {
 	if s.attached {
 		return fmt.Errorf("session: Attach called twice")
 	}

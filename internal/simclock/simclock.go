@@ -113,9 +113,18 @@ func New() *Clock {
 // Now reports the current virtual time (elapsed since simulation start).
 func (c *Clock) Now() time.Duration { return c.now }
 
+// handleOwner is the backend half of a Handle: a scheduler that can cancel
+// the (slot, generation) pair it issued. Both the simulation Clock and
+// wall-clock backends implement it, so Handle is one concrete type across
+// every Scheduler implementation (returning an interface instead would box
+// on each schedule call, and scheduling is the hottest path in the system).
+type handleOwner interface {
+	cancelEvent(idx int32, gen uint32)
+}
+
 // Handle identifies a scheduled event and allows cancellation.
 type Handle struct {
-	c   *Clock
+	c   handleOwner
 	idx int32
 	gen uint32
 }
@@ -125,8 +134,15 @@ type Handle struct {
 // been recycled for an unrelated event; the generation check makes the
 // stale cancel inert).
 func (h Handle) Cancel() {
-	if h.c != nil && h.c.slab[h.idx].gen == h.gen {
-		h.c.slab[h.idx].canceled = true
+	if h.c != nil {
+		h.c.cancelEvent(h.idx, h.gen)
+	}
+}
+
+// cancelEvent implements handleOwner for the simulation clock.
+func (c *Clock) cancelEvent(idx int32, gen uint32) {
+	if c.slab[idx].gen == gen {
+		c.slab[idx].canceled = true
 	}
 }
 

@@ -1,0 +1,354 @@
+package simclock
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wall is the wall-clock Scheduler backend: the same event-arena heap as the
+// simulation Clock, but deadlines are monotonic real time and the run loop
+// sleeps on a timer between events instead of jumping virtual time. It is
+// what carries the POI360 pipeline over real UDP sockets (internal/realnet):
+// session code written against Scheduler runs on either backend unchanged.
+//
+// Concurrency model: Schedule/ScheduleAfter/SchedulePayload/ScheduleCode/
+// NewCode/Ticker and Handle.Cancel are safe to call from any goroutine
+// (socket reader goroutines inject received packets by scheduling their
+// handling), while every callback runs serialized on the single goroutine
+// executing Run — mirroring the simulation clock's one-goroutine discipline,
+// so consumers need no locking of their own.
+//
+// Unlike the simulation Clock, scheduling in the past does not panic: real
+// time advances between computing a deadline and the Schedule call, so a
+// slightly-past deadline simply fires as soon as possible.
+type Wall struct {
+	start time.Time
+
+	mu       sync.Mutex
+	seq      uint64
+	slab     []event
+	heap     []int32
+	free     []int32
+	handlers []func(any)
+	stopped  bool
+
+	// wake interrupts the run loop's sleep when a new earliest event or a
+	// stop arrives; buffered so signalers never block.
+	wake chan struct{}
+}
+
+// NewWall returns a wall clock whose origin ("elapsed zero") is the moment
+// of the call. Run must be invoked — once, on the goroutine that should own
+// the callbacks — for scheduled events to fire.
+func NewWall() *Wall {
+	return &Wall{
+		start:    time.Now(),
+		handlers: make([]func(any), 1, 8),
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// Now reports the monotonic elapsed time since construction.
+func (w *Wall) Now() time.Duration { return time.Since(w.start) }
+
+// less orders slab indices by (time, sequence); callers hold w.mu.
+func (w *Wall) less(a, b int32) bool {
+	ea, eb := &w.slab[a], &w.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (w *Wall) siftUp(j int) {
+	h := w.heap
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !w.less(h[j], h[parent]) {
+			break
+		}
+		h[j], h[parent] = h[parent], h[j]
+		j = parent
+	}
+}
+
+func (w *Wall) siftDown(j int) {
+	h := w.heap
+	n := len(h)
+	for {
+		l := 2*j + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && w.less(h[r], h[l]) {
+			m = r
+		}
+		if !w.less(h[m], h[j]) {
+			break
+		}
+		h[j], h[m] = h[m], h[j]
+		j = m
+	}
+}
+
+// alloc takes a slot, stamps (at, seq), and pushes it; callers hold w.mu.
+// Past deadlines clamp to now so the event fires on the next loop pass.
+func (w *Wall) alloc(at time.Duration) int32 {
+	if now := w.Now(); at < now {
+		at = now
+	}
+	var i int32
+	if n := len(w.free); n > 0 {
+		i = w.free[n-1]
+		w.free = w.free[:n-1]
+	} else {
+		w.slab = append(w.slab, event{})
+		i = int32(len(w.slab) - 1)
+	}
+	e := &w.slab[i]
+	e.at = at
+	e.seq = w.seq
+	w.seq++
+	return i
+}
+
+func (w *Wall) push(i int32) {
+	w.heap = append(w.heap, i)
+	w.siftUp(len(w.heap) - 1)
+	// A new heap minimum may shorten the loop's sleep.
+	if w.heap[0] == i {
+		w.signal()
+	}
+}
+
+func (w *Wall) signal() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *Wall) pop() int32 {
+	h := w.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	w.heap = h[:n]
+	if n > 0 {
+		w.siftDown(0)
+	}
+	return top
+}
+
+func (w *Wall) recycle(i int32) {
+	e := &w.slab[i]
+	e.fn = nil
+	e.pfn = nil
+	e.arg = nil
+	e.code = 0
+	e.canceled = false
+	e.gen++
+	w.free = append(w.free, i)
+}
+
+// Schedule runs fn at absolute elapsed time at (clamped to now if past).
+func (w *Wall) Schedule(at time.Duration, fn func()) Handle {
+	w.mu.Lock()
+	i := w.alloc(at)
+	w.slab[i].fn = fn
+	gen := w.slab[i].gen
+	w.push(i)
+	w.mu.Unlock()
+	return Handle{w, i, gen}
+}
+
+// ScheduleAfter runs fn after delay d (d < 0 is treated as 0).
+func (w *Wall) ScheduleAfter(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return w.Schedule(w.Now()+d, fn)
+}
+
+// SchedulePayload runs fn(arg) at absolute elapsed time at.
+func (w *Wall) SchedulePayload(at time.Duration, fn func(any), arg any) Handle {
+	w.mu.Lock()
+	i := w.alloc(at)
+	e := &w.slab[i]
+	e.pfn = fn
+	e.arg = arg
+	gen := e.gen
+	w.push(i)
+	w.mu.Unlock()
+	return Handle{w, i, gen}
+}
+
+// NewCode registers h as a typed event handler and returns its Code.
+func (w *Wall) NewCode(h func(any)) Code {
+	if h == nil {
+		panic("simclock: nil code handler")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.handlers) > math.MaxUint8 {
+		panic("simclock: event code space exhausted")
+	}
+	w.handlers = append(w.handlers, h)
+	return Code(len(w.handlers) - 1)
+}
+
+// ScheduleCode runs the handler registered for code with arg at absolute
+// elapsed time at.
+func (w *Wall) ScheduleCode(at time.Duration, code Code, arg any) Handle {
+	w.mu.Lock()
+	if code == 0 || int(code) >= len(w.handlers) {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("simclock: schedule of unregistered code %d", code))
+	}
+	i := w.alloc(at)
+	e := &w.slab[i]
+	e.code = code
+	e.arg = arg
+	gen := e.gen
+	w.push(i)
+	w.mu.Unlock()
+	return Handle{w, i, gen}
+}
+
+// wallTicker is the shared state of one Ticker registration.
+type wallTicker struct {
+	w       *Wall
+	period  time.Duration
+	at      time.Duration // current target instant, for drift-free cadence
+	fn      func()
+	stopped atomic.Bool
+}
+
+func (t *wallTicker) fire() {
+	if t.stopped.Load() {
+		return
+	}
+	t.fn()
+	if t.stopped.Load() {
+		return
+	}
+	// Drift-free: aim at target+period, but never burst to catch up — if
+	// the callback overran, the next tick lands immediately and the cadence
+	// re-anchors from real time.
+	t.at += t.period
+	if now := t.w.Now(); t.at < now {
+		t.at = now
+	}
+	t.w.Schedule(t.at, t.fire)
+}
+
+// Ticker invokes fn every period until the returned stop function is
+// called. Ticks do not accumulate drift while the callback keeps up.
+func (w *Wall) Ticker(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("simclock: ticker period must be positive")
+	}
+	t := &wallTicker{w: w, period: period, at: w.Now() + period, fn: fn}
+	w.Schedule(t.at, t.fire)
+	return func() { t.stopped.Store(true) }
+}
+
+// cancelEvent implements handleOwner for the wall clock.
+func (w *Wall) cancelEvent(idx int32, gen uint32) {
+	w.mu.Lock()
+	if w.slab[idx].gen == gen {
+		w.slab[idx].canceled = true
+	}
+	w.mu.Unlock()
+}
+
+// Pending reports the number of live (non-cancelled) scheduled events.
+func (w *Wall) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, i := range w.heap {
+		if !w.slab[i].canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop makes Run return as soon as possible. Events still in the heap are
+// kept (a subsequent Run would resume them); Stop is idempotent.
+func (w *Wall) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+	w.signal()
+}
+
+// Run executes events as their deadlines arrive until elapsed time reaches
+// until or Stop is called, sleeping between deadlines. Callbacks run on the
+// calling goroutine. It returns when the deadline passes — pending events
+// beyond it stay queued.
+func (w *Wall) Run(until time.Duration) {
+	for {
+		w.mu.Lock()
+		if w.stopped {
+			w.stopped = false // re-arm for a subsequent Run
+			w.mu.Unlock()
+			return
+		}
+		now := w.Now()
+		// Fire every due event before considering sleep.
+		if len(w.heap) > 0 && w.slab[w.heap[0]].at <= now {
+			i := w.pop()
+			e := &w.slab[i]
+			fn, pfn, arg, code := e.fn, e.pfn, e.arg, e.code
+			canceled := e.canceled
+			w.recycle(i)
+			var handler func(any)
+			if code != 0 {
+				handler = w.handlers[code]
+			}
+			w.mu.Unlock()
+			if !canceled {
+				switch {
+				case handler != nil:
+					handler(arg)
+				case pfn != nil:
+					pfn(arg)
+				default:
+					fn()
+				}
+			}
+			continue
+		}
+		if now >= until {
+			w.mu.Unlock()
+			return
+		}
+		next := until
+		if len(w.heap) > 0 && w.slab[w.heap[0]].at < next {
+			next = w.slab[w.heap[0]].at
+		}
+		w.mu.Unlock()
+
+		// Drain a stale wake-up so the select below sees only signals sent
+		// after the sleep target was computed.
+		select {
+		case <-w.wake:
+			continue
+		default:
+		}
+		timer := time.NewTimer(next - now)
+		select {
+		case <-timer.C:
+		case <-w.wake:
+			timer.Stop()
+		}
+	}
+}
+
+var _ Scheduler = (*Wall)(nil)

@@ -1,0 +1,172 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWallOrderAndNow checks that events fire in deadline order on the Run
+// goroutine and observe a non-decreasing Now at or past their deadline.
+func TestWallOrderAndNow(t *testing.T) {
+	w := NewWall()
+	var mu sync.Mutex
+	var got []int
+	base := w.Now()
+	w.Schedule(base+30*time.Millisecond, func() {
+		mu.Lock()
+		got = append(got, 3)
+		mu.Unlock()
+	})
+	w.Schedule(base+10*time.Millisecond, func() {
+		if w.Now() < base+10*time.Millisecond {
+			t.Errorf("callback ran at %v, before its deadline", w.Now())
+		}
+		mu.Lock()
+		got = append(got, 1)
+		mu.Unlock()
+	})
+	w.Schedule(base+20*time.Millisecond, func() {
+		mu.Lock()
+		got = append(got, 2)
+		mu.Unlock()
+	})
+	w.Run(base + 60*time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order %v, want [1 2 3]", got)
+	}
+}
+
+// TestWallConcurrentSchedule hammers the scheduling API from several
+// goroutines while Run executes — the socket-reader injection pattern the
+// real-transport backend uses. Run under -race this is the backend's
+// thread-safety contract.
+func TestWallConcurrentSchedule(t *testing.T) {
+	w := NewWall()
+	const producers, perProducer = 4, 50
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				w.ScheduleAfter(time.Duration(i%7)*time.Millisecond, func() {
+					fired.Add(1)
+				})
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Run long enough for every producer to finish plus the max delay.
+	w.Run(w.Now() + 500*time.Millisecond)
+	<-done
+	if got := fired.Load(); got != producers*perProducer {
+		t.Fatalf("fired %d of %d scheduled events", got, producers*perProducer)
+	}
+}
+
+// TestWallCancel verifies Handle.Cancel prevents firing and stale handles
+// to recycled slots stay inert.
+func TestWallCancel(t *testing.T) {
+	w := NewWall()
+	var ran atomic.Bool
+	h := w.ScheduleAfter(20*time.Millisecond, func() { ran.Store(true) })
+	h.Cancel()
+	var ok atomic.Bool
+	w.ScheduleAfter(5*time.Millisecond, func() { ok.Store(true) })
+	w.Run(w.Now() + 50*time.Millisecond)
+	if ran.Load() {
+		t.Fatal("cancelled event fired")
+	}
+	if !ok.Load() {
+		t.Fatal("unrelated event did not fire")
+	}
+	h.Cancel() // stale: slot may be recycled; must be a no-op
+	var again atomic.Bool
+	w.ScheduleAfter(time.Millisecond, func() { again.Store(true) })
+	w.Run(w.Now() + 20*time.Millisecond)
+	if !again.Load() {
+		t.Fatal("event scheduled after stale cancel did not fire")
+	}
+}
+
+// TestWallTicker checks cadence and stop semantics.
+func TestWallTicker(t *testing.T) {
+	w := NewWall()
+	var ticks atomic.Int64
+	stop := w.Ticker(10*time.Millisecond, func() { ticks.Add(1) })
+	w.Run(w.Now() + 55*time.Millisecond)
+	n := ticks.Load()
+	if n < 3 || n > 6 {
+		t.Fatalf("got %d ticks in ~55 ms of a 10 ms ticker", n)
+	}
+	stop()
+	w.Run(w.Now() + 30*time.Millisecond)
+	if ticks.Load() != n {
+		t.Fatalf("ticker fired after stop: %d -> %d", n, ticks.Load())
+	}
+}
+
+// TestWallStop verifies Stop interrupts a sleeping Run promptly.
+func TestWallStop(t *testing.T) {
+	w := NewWall()
+	w.ScheduleAfter(10*time.Second, func() {})
+	done := make(chan struct{})
+	go func() {
+		w.Run(w.Now() + 10*time.Second)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+	if w.Pending() != 1 {
+		t.Fatalf("pending = %d after Stop, want the 1 unfired event kept", w.Pending())
+	}
+}
+
+// TestWallPayloadAndCode covers the closure-free scheduling paths on the
+// wall backend.
+func TestWallPayloadAndCode(t *testing.T) {
+	w := NewWall()
+	var sum atomic.Int64
+	code := w.NewCode(func(a any) { sum.Add(a.(int64)) })
+	w.ScheduleCode(w.Now()+time.Millisecond, code, int64(5))
+	w.SchedulePayload(w.Now()+2*time.Millisecond, func(a any) { sum.Add(a.(int64)) }, int64(7))
+	w.Run(w.Now() + 30*time.Millisecond)
+	if sum.Load() != 12 {
+		t.Fatalf("sum = %d, want 12", sum.Load())
+	}
+}
+
+// TestWallSatisfiesScheduler pins the backend swap at the type level and
+// exercises a consumer written against the interface on both backends.
+func TestWallSatisfiesScheduler(t *testing.T) {
+	run := func(s Scheduler, advance func()) int {
+		n := 0
+		s.ScheduleAfter(time.Millisecond, func() { n++ })
+		s.ScheduleAfter(2*time.Millisecond, func() { n++ })
+		advance()
+		return n
+	}
+	c := New()
+	if got := run(c, func() { c.Run(10 * time.Millisecond) }); got != 2 {
+		t.Fatalf("sim backend fired %d of 2", got)
+	}
+	w := NewWall()
+	if got := run(w, func() { w.Run(w.Now() + 20*time.Millisecond) }); got != 2 {
+		t.Fatalf("wall backend fired %d of 2", got)
+	}
+}

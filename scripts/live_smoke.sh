@@ -1,0 +1,54 @@
+#!/bin/sh
+# live_smoke.sh — a ~2 s FBCC session between a real sender and receiver
+# process over loopback UDP. Exercises the whole live backend end to end:
+# the wire codec, the jitter buffer, the reverse report channel and the
+# sender's synthesized diag feed driving FBCC. The receiver binds an
+# ephemeral port and publishes it through -portfile; both processes
+# enforce minimum progress (-expect-frames / -expect-reports) and exit
+# non-zero if the session didn't actually move media and feedback.
+set -eu
+
+GO=${GO:-go}
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+"$GO" build -o "$out/poi360-live" ./cmd/poi360-live
+
+"$out/poi360-live" -role receiver -addr 127.0.0.1:0 \
+	-portfile "$out/port" -duration 6s -expect-frames 20 \
+	> "$out/rx.json" 2> "$out/rx.err" &
+rx=$!
+
+# Wait for the receiver to publish its bound port.
+i=0
+while [ ! -s "$out/port" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "live-smoke: receiver never published its port" >&2
+		cat "$out/rx.err" >&2 || true
+		kill "$rx" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+
+if ! "$out/poi360-live" -role sender -addr "127.0.0.1:$(cat "$out/port")" \
+	-rc fbcc -duration 2s -expect-reports 10 \
+	> "$out/tx.json" 2> "$out/tx.err"; then
+	echo "live-smoke: sender failed" >&2
+	cat "$out/tx.err" >&2 || true
+	kill "$rx" 2>/dev/null || true
+	exit 1
+fi
+
+if ! wait "$rx"; then
+	echo "live-smoke: receiver failed" >&2
+	cat "$out/rx.err" >&2 || true
+	exit 1
+fi
+
+echo "--- sender"
+cat "$out/tx.json"
+echo "--- receiver"
+cat "$out/rx.json"
+echo "live-smoke: ok"

@@ -68,15 +68,20 @@ multiuser-smoke:
 
 ## obs-smoke: the observability subsystem under the race detector —
 ## nil-probe safety, episode semantics on the busy cell, JSONL schema,
-## and the byte-identity of instrumented experiment reports — then an
-## end-to-end CLI pass: one FBCC session on the busy cell (with a
-## capacity-step fault so congestion episodes actually fire inside 60 s),
-## checking that every -obs JSONL line parses and the episode stats are
-## non-empty. Also runs the Emit-cost benchmarks once, which fail loudly
-## if the nil-probe path ever starts allocating.
+## the binary codec round-trip (including the fuzz seed corpus), the
+## streaming shard aggregation, and the byte-identity of instrumented
+## experiment reports — then an end-to-end CLI pass: one FBCC session on
+## the busy cell (with a capacity-step fault so congestion episodes
+## actually fire inside 60 s), run once through -obs (JSONL) and once
+## through -obs-bin (binary), checking that every JSONL line parses, the
+## episode stats are non-empty, the two printouts agree, and
+## poi360-trace -from-bin decodes the binary stream back to the exact
+## JSONL bytes. Also runs the Emit-cost benchmarks once, which fail
+## loudly if the nil-probe path ever starts allocating.
 obs-smoke:
-	$(GO) test -race -run 'Obs|Episode|JSONL|Telemetry' ./internal/obs \
-		./internal/experiments
+	$(GO) test -race -run 'Obs|Episode|JSONL|Telemetry|Binary|ShardAgg|BinWriter|FinishSpill' \
+		./internal/obs ./internal/experiments
+	$(GO) test -run 'FuzzEventBinaryRoundTrip' ./internal/obs
 	$(GO) test -bench 'Obs(Disabled|Enabled)$$' -benchtime 1x -run '^$$' .
 	@out="$$(mktemp -d)"; trap 'rm -rf "$$out"' EXIT; \
 	$(GO) run ./cmd/poi360-sim -rc fbcc -cell busy -faults capacity-step \
@@ -88,6 +93,20 @@ obs-smoke:
 	[ "$$bad" = "0" ] || { echo "obs-smoke: $$bad malformed JSONL lines"; exit 1; }; \
 	grep -E 'episodes: [1-9][0-9]* congestion' "$$out/sim.txt" >/dev/null \
 		|| { echo "obs-smoke: no congestion episodes reported"; exit 1; }; \
+	$(GO) run ./cmd/poi360-sim -rc fbcc -cell busy -faults capacity-step \
+		-duration 60s -seed 1 -obs-bin "$$out/events.pbt" > "$$out/simbin.txt" \
+		|| { cat "$$out/simbin.txt"; exit 1; }; \
+	grep -v '^  obs' "$$out/sim.txt" > "$$out/sim.flt"; \
+	grep -v '^  obs' "$$out/simbin.txt" > "$$out/simbin.flt"; \
+	cmp -s "$$out/sim.flt" "$$out/simbin.flt" \
+		|| { echo "obs-smoke: -obs and -obs-bin printouts diverge"; \
+		     diff "$$out/sim.flt" "$$out/simbin.flt"; exit 1; }; \
+	$(GO) run ./cmd/poi360-trace -from-bin "$$out/events.pbt" > "$$out/decoded.jsonl"; \
+	cmp -s "$$out/events.jsonl" "$$out/decoded.jsonl" \
+		|| { echo "obs-smoke: binary decode differs from JSONL"; exit 1; }; \
+	$(GO) run ./cmd/poi360-trace -from-bin "$$out/events.pbt" -view episodes \
+		| grep -E '^[1-9][0-9]* congestion' >/dev/null \
+		|| { echo "obs-smoke: -from-bin -view episodes empty"; exit 1; }; \
 	echo "obs-smoke: ok"
 
 ## network-smoke: the multi-cell city subsystem under the race detector —
@@ -101,14 +120,18 @@ network-smoke:
 	$(GO) test -race -run 'NetworkCityTable' ./internal/experiments
 
 ## perf-smoke: the hot-path allocation gates (TestPerf* across packages:
-## zero-alloc Eq. 1 matrix lookups, memoized Result summaries, the
-## end-to-end per-session allocation budget) followed by one pass of the
-## allocation-sensitive benchmarks with -benchmem, so a regression shows
-## both as a red gate and as numbers in the log.
+## zero-alloc Eq. 1 matrix lookups, the zero-alloc binary event encoder,
+## memoized Result summaries, the end-to-end per-session allocation
+## budget) followed by one pass of the allocation-sensitive benchmarks
+## with -benchmem, so a regression shows both as a red gate and as
+## numbers in the log.
 perf-smoke:
-	$(GO) test -run 'TestPerf' ./internal/compress ./internal/session .
+	$(GO) test -run 'TestPerf' ./internal/compress ./internal/obs \
+		./internal/session .
 	$(GO) test -bench 'Obs|SharedCell|ModeMatrix|SessionAllocs' \
 		-benchtime 1x -benchmem -run '^$$' ./internal/compress .
+	$(GO) test -bench 'EventEncode|ShardAggMerge' \
+		-benchtime 1x -benchmem -run '^$$' ./internal/obs
 
 ## live-smoke: the real-transport backend under the race detector — the
 ## wire codec fuzz corpus, the jitter buffer, the sender transport's

@@ -28,6 +28,7 @@ import (
 	"poi360/internal/headmotion"
 	"poi360/internal/lte"
 	"poi360/internal/metrics"
+	"poi360/internal/obs"
 	"poi360/internal/projection"
 	"poi360/internal/ratecontrol"
 	"poi360/internal/realnet"
@@ -73,20 +74,25 @@ const gccPacingFactor = 1.5
 
 // senderSummary is the sender's exit report.
 type senderSummary struct {
-	Role        string  `json:"role"`
-	RC          string  `json:"rc"`
-	Duration    string  `json:"duration"`
-	FramesSent  int     `json:"frames_sent"`
-	PacketsSent uint64  `json:"packets_sent"`
-	BytesSent   uint64  `json:"bytes_sent"`
-	PacerDrops  int64   `json:"pacer_drops"`
-	WriteErrors int64   `json:"write_errors"`
-	Reports     int     `json:"reports"`
-	StaleRpts   int64   `json:"stale_reports"`
-	VideoRate   float64 `json:"video_rate_bps"`
-	RTPRate     float64 `json:"rtp_rate_bps"`
-	Overuses    int     `json:"fbcc_overuses,omitempty"`
-	Degraded    int     `json:"fbcc_degradations,omitempty"`
+	Role        string `json:"role"`
+	RC          string `json:"rc"`
+	Duration    string `json:"duration"`
+	FramesSent  int    `json:"frames_sent"`
+	PacketsSent uint64 `json:"packets_sent"`
+	BytesSent   uint64 `json:"bytes_sent"`
+	PacerDrops  int64  `json:"pacer_drops"`
+	WriteErrors int64  `json:"write_errors"`
+	Reports     int    `json:"reports"`
+	StaleRpts   int64  `json:"stale_reports"`
+	// Net telemetry (the net.report sub-stream of the sender's bus): how
+	// many reverse reports were accepted and the mean gap between them —
+	// the live analogue of the diag cadence FBCC's watchdog supervises.
+	NetReports      int64   `json:"net_reports"`
+	ReportGapMeanMs float64 `json:"report_gap_mean_ms"`
+	VideoRate       float64 `json:"video_rate_bps"`
+	RTPRate         float64 `json:"rtp_rate_bps"`
+	Overuses        int     `json:"fbcc_overuses,omitempty"`
+	Degraded        int     `json:"fbcc_degradations,omitempty"`
 }
 
 func runSender(addr string, duration time.Duration, rcName string, rtt time.Duration, seed int64, expectReports int) error {
@@ -116,6 +122,11 @@ func runSender(addr string, duration time.Duration, rcName string, rtt time.Dura
 		return fmt.Errorf("-rc must be gcc or fbcc, got %q", rcName)
 	}
 
+	// Counters and histograms accumulate without event retention, so the
+	// bus stays O(1) no matter how long the endpoint runs.
+	bus := obs.NewBus()
+	bus.DisableRetention()
+
 	roiBelief := g.TileAt(projection.Orientation{})
 	reports := 0
 	tr := realnet.NewTransport(wall, uint32(seed)|1, link.Write, func(rep realnet.Report) {
@@ -126,6 +137,7 @@ func runSender(addr string, duration time.Duration, rcName string, rtt time.Dura
 			rgcc = rep.GCCRate
 		}
 	})
+	tr.SetProbe(bus.Probe(0))
 
 	initialRate := gccPacingFactor * rgcc
 	if fbcc != nil {
@@ -178,7 +190,9 @@ func runSender(addr string, duration time.Duration, rcName string, rtt time.Dura
 		FramesSent: framesSent, PacketsSent: tr.SentPackets(), BytesSent: tr.SentBytes(),
 		PacerDrops: pacer.Drops(), WriteErrors: tr.WriteErrors(),
 		Reports: reports, StaleRpts: tr.StaleReports(),
-		VideoRate: lastRv, RTPRate: pacer.Rate(),
+		NetReports:      bus.Count(obs.NetReport),
+		ReportGapMeanMs: 1e3 * bus.Hist(obs.NetReport).Mean(),
+		VideoRate:       lastRv, RTPRate: pacer.Rate(),
 	}
 	if fbcc != nil {
 		s.Overuses = fbcc.Overuses()
@@ -193,23 +207,27 @@ func runSender(addr string, duration time.Duration, rcName string, rtt time.Dura
 
 // receiverSummary is the receiver's exit report.
 type receiverSummary struct {
-	Role           string  `json:"role"`
-	Duration       string  `json:"duration"`
-	Packets        uint64  `json:"packets"`
-	Bytes          uint64  `json:"bytes"`
-	FramesComplete int64   `json:"frames_complete"`
-	FramesLost     int64   `json:"frames_lost"`
-	PacketDups     int64   `json:"packet_dups"`
-	PacketLate     int64   `json:"packet_late"`
-	SeqSkipped     int64   `json:"seq_skipped"`
-	JitterDepth    int     `json:"jitter_max_depth"`
-	Reports        uint32  `json:"reports_sent"`
-	ParseErrors    int64   `json:"parse_errors"`
-	BadSSRC        int64   `json:"bad_ssrc"`
-	DelayP50Ms     float64 `json:"delay_above_min_p50_ms"`
-	DelayP90Ms     float64 `json:"delay_above_min_p90_ms"`
-	PSNRMeanDB     float64 `json:"psnr_mean_db"`
-	ThroughputBps  float64 `json:"throughput_mean_bps"`
+	Role           string `json:"role"`
+	Duration       string `json:"duration"`
+	Packets        uint64 `json:"packets"`
+	Bytes          uint64 `json:"bytes"`
+	FramesComplete int64  `json:"frames_complete"`
+	FramesLost     int64  `json:"frames_lost"`
+	PacketDups     int64  `json:"packet_dups"`
+	PacketLate     int64  `json:"packet_late"`
+	SeqSkipped     int64  `json:"seq_skipped"`
+	JitterDepth    int    `json:"jitter_max_depth"`
+	// NetJitterEvents counts net.jitter emissions on the receiver's bus —
+	// one per late arrival, duplicate, and hold-expiry skip in the jitter
+	// buffer (each pathology is one event, whatever its sequence count).
+	NetJitterEvents int64   `json:"net_jitter_events"`
+	Reports         uint32  `json:"reports_sent"`
+	ParseErrors     int64   `json:"parse_errors"`
+	BadSSRC         int64   `json:"bad_ssrc"`
+	DelayP50Ms      float64 `json:"delay_above_min_p50_ms"`
+	DelayP90Ms      float64 `json:"delay_above_min_p90_ms"`
+	PSNRMeanDB      float64 `json:"psnr_mean_db"`
+	ThroughputBps   float64 `json:"throughput_mean_bps"`
 }
 
 func runReceiver(addr string, duration, hold time.Duration, seed int64, portfile string, expectFrames int) error {
@@ -266,8 +284,12 @@ func runReceiver(addr string, duration, hold time.Duration, seed int64, portfile
 		bits += cf.Bits
 	})
 
+	bus := obs.NewBus()
+	bus.DisableRetention()
+
 	rx := realnet.NewReceiver(wall, realnet.ReceiverConfig{
-		Hold: hold,
+		Hold:  hold,
+		Probe: bus.Probe(0),
 		Deliver: func(pkt *rtp.Packet, arrived time.Duration) {
 			ensureSpatial(pkt.Frame, g, cs)
 			owd := arrived - pkt.SentAt
@@ -294,7 +316,8 @@ func runReceiver(addr string, duration, hold time.Duration, seed int64, portfile
 		FramesComplete: reasm.Completed(), FramesLost: reasm.Lost(),
 		PacketDups: st.Duplicates + reasm.Duplicates(), PacketLate: st.Late + reasm.Late(),
 		SeqSkipped: st.Skipped, JitterDepth: st.MaxDepth,
-		Reports: st.ReportsSent, ParseErrors: st.ParseErrors, BadSSRC: st.BadSSRC,
+		NetJitterEvents: bus.Count(obs.NetJitter),
+		Reports:         st.ReportsSent, ParseErrors: st.ParseErrors, BadSSRC: st.BadSSRC,
 		DelayP50Ms: delay.Median, DelayP90Ms: delay.P90,
 		PSNRMeanDB:    metrics.Summarize(psnrs).Mean,
 		ThroughputBps: bits / duration.Seconds(),

@@ -12,6 +12,8 @@
 //	poi360-sim -rc fbcc -faults diag-stall            # scripted disturbance scenario
 //	poi360-sim -rc fbcc -faults handover -no-watchdog # paper prototype under faults
 //	poi360-sim -cells 100 -users 1000 -mobility 4s    # multi-cell city, emergent handover
+//	poi360-sim -rc fbcc -obs-bin out.pbt              # stream telemetry to a binary file
+//	poi360-sim -cells 64 -users 256 -obs-bin city.pbt # city telemetry, bounded memory
 //
 // With -runs N the session repeats N times under collision-free derived
 // seeds (poi360.DeriveSeed), fanned out over a bounded worker pool; the
@@ -50,6 +52,7 @@ func main() {
 		listF    = flag.Bool("list-faults", false, "list fault scenarios and exit")
 		noWD     = flag.Bool("no-watchdog", false, "disable FBCC's diag-staleness watchdog (paper prototype behaviour)")
 		obsOut   = flag.String("obs", "", "write telemetry events (JSONL) to this file; also prints the registry and FBCC episode stats")
+		obsBin   = flag.String("obs-bin", "", "stream telemetry to this binary file (.pbt) with bounded memory; decode with poi360-trace -from-bin")
 		cells    = flag.Int("cells", 0, "run the multi-cell city simulation with this many cells; -users sets the UE population and -rc the controller mix (gcc, fbcc, or split)")
 		mobility = flag.Duration("mobility", 0, "mean cell dwell of the city's mobility traces (0 = static UEs; only with -cells)")
 	)
@@ -62,11 +65,15 @@ func main() {
 		return
 	}
 
+	if *obsOut != "" && *obsBin != "" {
+		fatal("-obs and -obs-bin are mutually exclusive (one trace format per run)")
+	}
+
 	if *cells > 0 {
 		if *runs > 1 || *faultsIn != "" {
 			fatal("-cells is incompatible with -runs and -faults (city handovers are emergent, not scripted)")
 		}
-		if err := runCity(*cells, *users, *duration, *mobility, *seed, *workers, *rc, *obsOut); err != nil {
+		if err := runCity(*cells, *users, *duration, *mobility, *seed, *workers, *rc, *obsOut, *obsBin); err != nil {
 			fatal("%v", err)
 		}
 		return
@@ -143,12 +150,46 @@ func main() {
 		cfg.FBCCWatchdogReports = -1
 	}
 
-	var bus *poi360.TelemetryBus
-	if *obsOut != "" {
+	var (
+		bus    *poi360.TelemetryBus
+		binAgg *poi360.TelemetryShardAgg
+		binW   *poi360.TelemetryBinWriter
+		binF   *os.File
+	)
+	if *obsOut != "" || *obsBin != "" {
 		if *runs > 1 {
-			fatal("-obs and -runs are mutually exclusive (one trace file, one run)")
+			fatal("-obs/-obs-bin and -runs are mutually exclusive (one trace file, one run)")
 		}
 		bus = poi360.NewTelemetryBus()
+		if *obsBin != "" {
+			f, err := os.Create(*obsBin)
+			if err != nil {
+				fatal("%v", err)
+			}
+			binF = f
+			binW = poi360.NewTelemetryBinWriter(f)
+			binAgg = poi360.NewTelemetryShardAgg()
+			// One clock, one shard: the whole scenario spills as shard 0,
+			// flushed whenever 64 KiB accumulates — bounded memory at any
+			// duration.
+			bus.DisableRetention()
+			bus.SpillTo(binW, 0, 64<<10)
+			binAgg.Bind(0, bus)
+		}
+	}
+	dumpTelemetry := func(fbcc bool) {
+		if bus == nil {
+			return
+		}
+		var err error
+		if *obsBin != "" {
+			err = dumpObsBin(bus, binAgg, binW, binF, *obsBin, fbcc)
+		} else {
+			err = dumpObs(bus, *obsOut, fbcc)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	if *users > 1 {
@@ -161,11 +202,7 @@ func main() {
 		if err := runSharedCell(cfg, *users, bus); err != nil {
 			fatal("%v", err)
 		}
-		if bus != nil {
-			if err := dumpObs(bus, *obsOut, cfg.RC == poi360.RCFBCC); err != nil {
-				fatal("%v", err)
-			}
-		}
+		dumpTelemetry(cfg.RC == poi360.RCFBCC)
 		return
 	}
 
@@ -204,11 +241,7 @@ func main() {
 		fmt.Printf("  MOS     : bad %.1f%%, poor %.1f%%, fair %.1f%%, good %.1f%%, excellent %.1f%%\n",
 			100*pdf[0], 100*pdf[1], 100*pdf[2], 100*pdf[3], 100*pdf[4])
 	}
-	if bus != nil {
-		if err := dumpObs(bus, *obsOut, res.Config.RC == poi360.RCFBCC); err != nil {
-			fatal("%v", err)
-		}
-	}
+	dumpTelemetry(res.Config.RC == poi360.RCFBCC)
 }
 
 // dumpObs writes the bus's event stream as JSONL and prints the metric
@@ -229,14 +262,38 @@ func dumpObs(bus *poi360.TelemetryBus, path string, fbcc bool) error {
 	fmt.Printf("  obs     : %d events -> %s\n", bus.Len(), path)
 	fmt.Print(bus.Table())
 	if fbcc {
-		eps := poi360.CongestionEpisodes(bus.Events())
-		st := poi360.SummarizeCongestionEpisodes(eps)
-		fmt.Printf("  episodes: %d congestion episodes (%d triggers), mean %.0f ms, max %.0f ms, mean hold %.0f ms, %d aborted, %d open\n",
-			st.Count, st.Triggers,
-			1e3*st.MeanDuration.Seconds(), 1e3*st.MaxDuration.Seconds(), 1e3*st.MeanHeld.Seconds(),
-			st.Aborted, st.Incomplete)
+		printEpisodes(poi360.SummarizeCongestionEpisodes(poi360.CongestionEpisodes(bus.Events())))
 	}
 	return nil
+}
+
+// dumpObsBin finalizes a binary telemetry stream — gauges spilled, buffers
+// flushed, file closed — and prints the streaming aggregates: the registry
+// merged across shards and, for FBCC sessions, the congestion-episode
+// statistics. Both are byte-identical to what the in-memory -obs path
+// prints, though no event was ever retained.
+func dumpObsBin(bus *poi360.TelemetryBus, agg *poi360.TelemetryShardAgg, bw *poi360.TelemetryBinWriter, f *os.File, path string, fbcc bool) error {
+	bus.FinishSpill()
+	if err := bw.Err(); err != nil {
+		f.Close()
+		return fmt.Errorf("obs-bin: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  obs-bin : %d bytes -> %s\n", bw.Bytes(), path)
+	fmt.Print(agg.Merged().Table())
+	if fbcc {
+		printEpisodes(agg.Summary())
+	}
+	return nil
+}
+
+func printEpisodes(st poi360.CongestionEpisodeStats) {
+	fmt.Printf("  episodes: %d congestion episodes (%d triggers), mean %.0f ms, max %.0f ms, mean hold %.0f ms, %d aborted, %d open\n",
+		st.Count, st.Triggers,
+		1e3*st.MeanDuration.Seconds(), 1e3*st.MaxDuration.Seconds(), 1e3*st.MeanHeld.Seconds(),
+		st.Aborted, st.Incomplete)
 }
 
 // runMany repeats the session n times under collision-free derived seeds,
@@ -343,7 +400,7 @@ func runSharedCell(base poi360.SessionConfig, n int, bus *poi360.TelemetryBus) e
 // lockstep, -users UE endpoints with grid-walk mobility, handovers
 // emerging wherever a trace crosses a cell border. The printout is a pure
 // function of the flags at any -workers.
-func runCity(cells, ues int, duration, mobility time.Duration, seed int64, workers int, rc, obsOut string) error {
+func runCity(cells, ues int, duration, mobility time.Duration, seed int64, workers int, rc, obsOut, obsBin string) error {
 	var mix string
 	switch rc {
 	case "gcc":
@@ -355,9 +412,31 @@ func runCity(cells, ues int, duration, mobility time.Duration, seed int64, worke
 	default:
 		return fmt.Errorf("city mode: -rc must be gcc, fbcc, or split, got %q", rc)
 	}
-	var bus *poi360.TelemetryBus
+	var (
+		bus    *poi360.TelemetryBus
+		binAgg *poi360.TelemetryShardAgg
+		binW   *poi360.TelemetryBinWriter
+		binF   *os.File
+	)
 	if obsOut != "" {
 		bus = poi360.NewTelemetryBus()
+	}
+	if obsBin != "" {
+		f, err := os.Create(obsBin)
+		if err != nil {
+			return err
+		}
+		binF = f
+		binW = poi360.NewTelemetryBinWriter(f)
+		binAgg = poi360.NewTelemetryShardAgg()
+		// Coordinator traffic (handovers, fault markers) spills as shard
+		// -1; per-cell radio shards 0..C-1 come from CityConfig.Sink. The
+		// city flushes every shard at its clock barriers in shard-id
+		// order, so the file is byte-identical at any -workers.
+		bus = poi360.NewTelemetryBus()
+		bus.DisableRetention()
+		bus.SpillTo(binW, -1, 0)
+		binAgg.Bind(-1, bus)
 	}
 	res, err := poi360.RunCity(poi360.CityConfig{
 		Cells:     cells,
@@ -368,6 +447,8 @@ func runCity(cells, ues int, duration, mobility time.Duration, seed int64, worke
 		Workers:   workers,
 		Mix:       mix,
 		Obs:       bus,
+		Agg:       binAgg,
+		Sink:      binW,
 	})
 	if err != nil {
 		return err
@@ -382,10 +463,11 @@ func runCity(cells, ues int, duration, mobility time.Duration, seed int64, worke
 	fmt.Printf("  frames  : sent %d, lost %d, frozen %d (measured after warmup %v)\n", sent, lost, frozen, res.Warmup)
 	fmt.Printf("  radio   : per-cell Jain mean %.3f over occupied cells, global Jain %.3f\n",
 		res.MeanPerCellJain(), res.JainGlobal)
+	if binW != nil {
+		return dumpObsBin(bus, binAgg, binW, binF, obsBin, false)
+	}
 	if bus != nil {
-		if err := dumpObs(bus, obsOut, false); err != nil {
-			return err
-		}
+		return dumpObs(bus, obsOut, false)
 	}
 	return nil
 }

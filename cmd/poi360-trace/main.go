@@ -8,6 +8,14 @@
 // triggers/pins/releases, LTE grants, queue drops, fault windows), the same
 // format poi360-sim -obs writes to a file.
 //
+// With -from-bin it runs no session at all: it decodes a binary telemetry
+// stream (.pbt, written by poi360-sim -obs-bin) and renders it as JSONL
+// (default), as the merged metric registry (-view registry), or as the
+// FBCC congestion-episode summary (-view episodes). Adding -live tails a
+// file that is still being written — partial records at the tail are
+// buffered until the writer completes them — polling every -refresh until
+// -live-for elapses (0 = tail forever).
+//
 // Usage:
 //
 //	poi360-trace -rc fbcc -cell campus > trace.csv
@@ -15,12 +23,17 @@
 //	poi360-trace -rc fbcc -faults handover       # trace a disturbed session
 //	poi360-trace -users 3 -session 1             # user 1 of a 3-user shared cell
 //	poi360-trace -rc fbcc -events > events.jsonl # telemetry events as JSONL
+//	poi360-trace -from-bin out.pbt > events.jsonl
+//	poi360-trace -from-bin city.pbt -view registry
+//	poi360-trace -from-bin city.pbt -live -refresh 200ms -live-for 10s
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
@@ -40,8 +53,23 @@ func main() {
 		users    = flag.Int("users", 1, "contend N sessions in ONE shared cell; -session picks whose series to dump")
 		sessIdx  = flag.Int("session", 0, "which shared-cell session's series to dump (with -users)")
 		events   = flag.Bool("events", false, "dump telemetry events as JSONL instead of a CSV series")
+		fromBin  = flag.String("from-bin", "", "decode a binary telemetry stream (.pbt) instead of running a session")
+		view     = flag.String("view", "events", "what -from-bin renders: events (JSONL), registry, episodes")
+		live     = flag.Bool("live", false, "tail a still-growing -from-bin stream instead of stopping at EOF")
+		refresh  = flag.Duration("refresh", 500*time.Millisecond, "poll interval while tailing with -live")
+		liveFor  = flag.Duration("live-for", 0, "stop a -live tail after this long (0 = tail forever)")
 	)
 	flag.Parse()
+
+	if *fromBin != "" {
+		if err := decodeBinary(*fromBin, *view, *live, *refresh, *liveFor); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	if *live {
+		fatal("-live needs -from-bin (it tails a binary telemetry file)")
+	}
 
 	cfg := poi360.SessionConfig{Duration: *duration, Seed: *seed, Network: poi360.Cellular}
 	switch *rc {
@@ -166,6 +194,88 @@ func main() {
 	default:
 		fatal("unknown series %q", *series)
 	}
+}
+
+// decodeBinary replays a binary telemetry stream through the streaming
+// replayer: events render as JSONL the moment they decode, while the
+// registry and episode views come from the replayer's shard aggregate. In
+// live mode EOF means "writer not done yet": the file is re-polled every
+// refresh — a partial record at the tail stays buffered until the writer
+// completes it — and the tail stops once liveFor elapses (or never, when
+// liveFor is 0).
+func decodeBinary(path, view string, live bool, refresh, liveFor time.Duration) error {
+	switch view {
+	case "events", "registry", "episodes":
+	default:
+		return fmt.Errorf("unknown -view %q (events, registry, episodes)", view)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	agg := poi360.NewTelemetryShardAgg()
+	rep := poi360.NewTelemetryReplayer(agg)
+	if view == "events" {
+		var line []byte
+		rep.OnEvent = func(_ int32, e *poi360.TelemetryEvent) {
+			line = poi360.AppendTelemetryEventJSON(line[:0], e)
+			line = append(line, '\n')
+			out.Write(line)
+		}
+	}
+
+	var deadline time.Time
+	if live && liveFor > 0 {
+		deadline = time.Now().Add(liveFor)
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			if err := rep.Feed(buf[:n]); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			if !live {
+				break
+			}
+			out.Flush() // a live consumer sees each event as it lands
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(refresh)
+			continue
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	if err := rep.Finish(); err != nil {
+		if !live {
+			return err
+		}
+		// A deadline can expire mid-record while the writer is still
+		// going; that is where the tail stopped, not corruption.
+		fmt.Fprintf(os.Stderr, "live tail stopped mid-stream: %v\n", err)
+	}
+
+	switch view {
+	case "registry":
+		fmt.Fprint(out, agg.Merged().Table())
+	case "episodes":
+		st := agg.Summary()
+		fmt.Fprintf(out, "%d congestion episodes (%d triggers), mean %.0f ms, max %.0f ms, mean hold %.0f ms, %d aborted, %d open\n",
+			st.Count, st.Triggers,
+			1e3*st.MeanDuration.Seconds(), 1e3*st.MaxDuration.Seconds(), 1e3*st.MeanHeld.Seconds(),
+			st.Aborted, st.Incomplete)
+	}
+	return nil
 }
 
 func write(w *csv.Writer, cells ...string) {

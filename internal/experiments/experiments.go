@@ -258,12 +258,12 @@ func (p *progressBuffer) emit(i int, line string) {
 }
 
 // batchSlot holds one session's outcome until the deterministic fold.
+// (Congestion episodes no longer ride the slot: each instrumented session
+// streams into its batch's ShardAgg under its grid index, so the engine
+// retains no event stream at all.)
 type batchSlot struct {
 	res *session.Result
 	err error
-	// eps are the session's FBCC congestion episodes, reconstructed from a
-	// private per-session telemetry bus when Options.Obs is set.
-	eps []obs.Episode
 }
 
 // batchLabel names a batch for the experiment-level episode table: the
@@ -285,10 +285,6 @@ func batchLabel(base session.Config) string {
 	}
 	return l
 }
-
-// fbccKinds filters a per-session bus down to the episode analyzer's inputs
-// so instrumented batches retain O(episodes), not O(frames), memory.
-var fbccKinds = []obs.Kind{obs.FBCCTrigger, obs.FBCCPin, obs.FBCCRelease, obs.FBCCWatchdog}
 
 // runBatch runs the users × repeats session grid derived from base (Seed
 // and User varied per cell) and aggregates the results. It is runBatches
@@ -345,6 +341,18 @@ func runBatches(o Options, bases []session.Config) ([]*sessionAgg, error) {
 	if o.Progress != nil {
 		progress = newProgressBuffer(o.Progress)
 	}
+	// One streaming episode aggregate per batch: every instrumented
+	// session binds a retention-free bus under its within-batch grid
+	// index, so episodes accumulate as they are emitted and concatenate
+	// in grid order at the fold — byte-identical to the retained-stream
+	// engine at any worker count, without holding a single event.
+	var epAggs []*obs.ShardAgg
+	if o.Obs != nil {
+		epAggs = make([]*obs.ShardAgg, len(bases))
+		for b := range epAggs {
+			epAggs[b] = obs.NewShardAgg()
+		}
+	}
 
 	// runOne executes flattened cell i into its slot.
 	runOne := func(i int) error {
@@ -353,12 +361,14 @@ func runBatches(o Options, bases []session.Config) ([]*sessionAgg, error) {
 		cfg := prepared[b]
 		cfg.User = userProfile(u)
 		cfg.Seed = session.DeriveSeed(o.Seed, u, r)
-		var bus *obs.Bus
 		if o.Obs != nil && cfg.RC == session.RCFBCC {
-			// Private per-session bus (no cross-worker sharing), filtered
-			// to the fbcc.* kinds the episode analyzer consumes. The probe
-			// id is the within-batch grid index, as in single-batch runs.
-			bus = obs.NewBus(fbccKinds...)
+			// Private per-session bus (no cross-worker sharing), streaming
+			// into the batch's episode aggregate under the within-batch
+			// grid index — same probe id as single-batch runs, zero event
+			// retention.
+			bus := obs.NewBus()
+			bus.DisableRetention()
+			epAggs[b].Bind(int32(j), bus)
 			cfg.Obs = bus.Probe(int32(j))
 		}
 		res, err := session.Run(cfg)
@@ -368,9 +378,6 @@ func runBatches(o Options, bases []session.Config) ([]*sessionAgg, error) {
 			return slots[i].err
 		}
 		slots[i].res = res
-		if bus != nil {
-			slots[i].eps = obs.Episodes(bus.Events())
-		}
 		if progress != nil {
 			progress.emit(i, fmt.Sprintf("  %s/%s user=%s rep=%d: PSNR %.1f dB, FR %.2f%%\n",
 				cfg.Scheme, cfg.Network, cfg.User.Name, r,
@@ -429,13 +436,11 @@ func runBatches(o Options, bases []session.Config) ([]*sessionAgg, error) {
 		}
 		aggs[b] = agg
 		if o.Obs != nil && prepared[b].RC == session.RCFBCC {
-			// Episodes fold in grid order (like everything else), so the
-			// experiment-level table is byte-identical at any worker count.
-			var eps []obs.Episode
-			for j := 0; j < per; j++ {
-				eps = append(eps, slots[b*per+j].eps...)
-			}
-			o.Obs.AddBatch(batchLabel(prepared[b]), per, eps)
+			// ShardAgg.Episodes concatenates in ascending shard id — the
+			// within-batch grid index — so the experiment-level table is
+			// byte-identical at any worker count, exactly as the old
+			// retained-stream fold was.
+			o.Obs.AddBatch(batchLabel(prepared[b]), per, epAggs[b].Episodes())
 		}
 	}
 	return aggs, nil

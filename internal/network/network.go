@@ -150,8 +150,27 @@ type Config struct {
 	// Obs, when non-nil, receives NetAttach/NetDetach/NetHandover
 	// events. Only the single-threaded coordinator emits (shards run
 	// concurrently), so instrumentation cannot perturb the trajectory
-	// and the event stream is deterministic.
+	// and the event stream is deterministic. A caller that set the bus
+	// spilling (Bus.SpillTo — conventionally shard -1) gets it flushed at
+	// every epoch barrier alongside the radio shards.
 	Obs *obs.Bus
+
+	// Agg, when non-nil, turns on per-cell radio telemetry (lte.grant /
+	// lte.diag / lte.drop from every residency) aggregated streamingly:
+	// each cell shard gets a private retention-free bus bound to the
+	// aggregate under its cell index, so counters, histograms and episode
+	// stats accumulate without ever materializing the event stream.
+	// Aggregates are byte-identical at any Workers (ShardAgg merges in
+	// shard-id order).
+	Agg *obs.ShardAgg
+
+	// Sink, when non-nil, streams the per-cell radio telemetry (and, when
+	// Obs spills to the same sink, the coordinator stream) to a binary
+	// .pbt writer: every shard's pending buffer is flushed at each epoch
+	// barrier, single-threaded, in shard-id order — the file bytes are
+	// identical at any Workers and memory stays bounded by one epoch's
+	// emissions per shard.
+	Sink *obs.BinWriter
 }
 
 func (c Config) withDefaults() Config {
@@ -325,6 +344,11 @@ type city struct {
 	shards []*shard
 	ues    []*ue
 	gridW  int
+	// radio holds the per-cell telemetry buses (nil unless Config.Agg or
+	// Config.Sink enabled them). Each bus is touched only by its shard's
+	// clock goroutine during an epoch and only by the coordinator at
+	// barriers — the same isolation discipline as the shards themselves.
+	radio []*obs.Bus
 }
 
 // Run executes one city simulation to completion.
@@ -354,6 +378,22 @@ func Run(cfg Config) (*Result, error) {
 		cell.Start()
 	}
 
+	// --- Per-cell radio telemetry shards ------------------------------
+	if cfg.Agg != nil || cfg.Sink != nil {
+		n.radio = make([]*obs.Bus, cfg.Cells)
+		for c := range n.radio {
+			rb := obs.NewBus()
+			rb.DisableRetention()
+			if cfg.Sink != nil {
+				rb.SpillTo(cfg.Sink, int32(c), 0)
+			}
+			if cfg.Agg != nil {
+				cfg.Agg.Bind(int32(c), rb)
+			}
+			n.radio[c] = rb
+		}
+	}
+
 	// --- UEs: mobility stream, controller mix, initial attachment -----
 	n.ues = make([]*ue, cfg.UEs)
 	for i := range n.ues {
@@ -380,9 +420,29 @@ func Run(cfg Config) (*Result, error) {
 		if now < cfg.Duration {
 			n.boundary(now)
 		}
+		n.flushTelemetry()
+	}
+
+	// Seal the spill streams: gauges (none today on city buses) and any
+	// pending bytes, coordinator first, then shards in id order.
+	cfg.Obs.FinishSpill()
+	for _, rb := range n.radio {
+		rb.FinishSpill()
 	}
 
 	return n.finalize(), nil
+}
+
+// flushTelemetry hands every spilling bus's pending buffer to the shared
+// sink — coordinator stream first (shard -1), then radio shards in cell
+// order. Runs only on the coordinator goroutine (the epoch barrier), so
+// the stream's flush interleaving is a function of the configuration
+// alone, never of worker scheduling.
+func (n *city) flushTelemetry() {
+	n.cfg.Obs.Flush()
+	for _, rb := range n.radio {
+		rb.Flush()
+	}
 }
 
 // advance runs every shard's clock to the epoch end. The worker pool

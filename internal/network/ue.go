@@ -163,6 +163,12 @@ func (n *city) attach(u *ue, cell int, now time.Duration, handover bool) error {
 	if err != nil {
 		return err
 	}
+	if n.radio != nil {
+		// Radio telemetry rides the shard's private bus (per-UE sub), so
+		// grant/diag/drop emissions during concurrent shard advance stay
+		// on their own shard's stream.
+		link.SetProbe(n.radio[cell].Probe(int32(u.id)))
+	}
 	link.SetDiagListener(func(rep lte.DiagReport) {
 		if p.u == nil || u.fbcc == nil {
 			return

@@ -58,53 +58,74 @@ func (e Episode) Held() time.Duration {
 	return e.ReleaseAt - e.LastTriggerAt
 }
 
+// EpisodeTracker reconstructs congestion episodes incrementally from a
+// stream of fbcc.* events observed in emission order — the streaming form
+// of Episodes, built so aggregation never has to retain the event stream.
+// The zero value is ready; feed it every event via Observe (non-fbcc
+// kinds are ignored) and read Episodes when the stream ends.
+type EpisodeTracker struct {
+	open map[int32]int // sub → index into eps of the open episode
+	eps  []Episode
+}
+
+// Observe folds one event.
+func (t *EpisodeTracker) Observe(e *Event) {
+	switch e.Kind {
+	case FBCCTrigger:
+		if j, ok := t.open[e.Sub]; ok {
+			// Retrigger inside the latched hold: extend the episode.
+			t.eps[j].Triggers++
+			t.eps[j].LastTriggerAt = e.At
+			return
+		}
+		if t.open == nil {
+			t.open = map[int32]int{}
+		}
+		t.open[e.Sub] = len(t.eps)
+		t.eps = append(t.eps, Episode{
+			Sub:           e.Sub,
+			TriggerAt:     e.At,
+			LastTriggerAt: e.At,
+			Triggers:      1,
+			BufferBytes:   e.A,
+			Gamma:         e.B,
+			Streak:        e.C,
+		})
+	case FBCCPin:
+		if j, ok := t.open[e.Sub]; ok {
+			t.eps[j].RphyBps = e.A
+			t.eps[j].HoldS = e.B
+		}
+	case FBCCRelease:
+		if j, ok := t.open[e.Sub]; ok {
+			t.eps[j].ReleaseAt = e.At
+			t.eps[j].Complete = true
+			delete(t.open, e.Sub)
+		}
+	case FBCCWatchdog:
+		if j, ok := t.open[e.Sub]; ok {
+			t.eps[j].ReleaseAt = e.At
+			t.eps[j].Complete = true
+			t.eps[j].Aborted = true
+			delete(t.open, e.Sub)
+		}
+	}
+}
+
+// Episodes returns the reconstructed episodes in first-trigger order.
+// Episodes still open (no release or abort yet) appear incomplete; the
+// slice is owned by the tracker.
+func (t *EpisodeTracker) Episodes() []Episode { return t.eps }
+
 // Episodes reconstructs the congestion episodes of an event stream from
 // its fbcc.* events, grouped per sub-stream, in stream order. The stream
 // must be in emission order (as Bus.Events returns it).
 func Episodes(events []Event) []Episode {
-	var out []Episode
-	open := map[int32]int{} // sub → index into out of the open episode
+	var t EpisodeTracker
 	for i := range events {
-		e := &events[i]
-		switch e.Kind {
-		case FBCCTrigger:
-			if j, ok := open[e.Sub]; ok {
-				// Retrigger inside the latched hold: extend the episode.
-				out[j].Triggers++
-				out[j].LastTriggerAt = e.At
-				continue
-			}
-			open[e.Sub] = len(out)
-			out = append(out, Episode{
-				Sub:           e.Sub,
-				TriggerAt:     e.At,
-				LastTriggerAt: e.At,
-				Triggers:      1,
-				BufferBytes:   e.A,
-				Gamma:         e.B,
-				Streak:        e.C,
-			})
-		case FBCCPin:
-			if j, ok := open[e.Sub]; ok {
-				out[j].RphyBps = e.A
-				out[j].HoldS = e.B
-			}
-		case FBCCRelease:
-			if j, ok := open[e.Sub]; ok {
-				out[j].ReleaseAt = e.At
-				out[j].Complete = true
-				delete(open, e.Sub)
-			}
-		case FBCCWatchdog:
-			if j, ok := open[e.Sub]; ok {
-				out[j].ReleaseAt = e.At
-				out[j].Complete = true
-				out[j].Aborted = true
-				delete(open, e.Sub)
-			}
-		}
+		t.Observe(&events[i])
 	}
-	return out
+	return t.Episodes()
 }
 
 // EpisodeStats summarizes a set of episodes.

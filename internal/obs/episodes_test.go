@@ -152,6 +152,124 @@ func TestSummarizeEpisodes(t *testing.T) {
 	}
 }
 
+// TestEpisodesEdgeCases: the analyzer's boundary behavior — streams that
+// end mid-episode, a watchdog trip inside the 2-RTT hold, and buses whose
+// filter leaves nothing to analyze.
+func TestEpisodesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+		check  func(t *testing.T, eps []Episode, st EpisodeStats)
+	}{
+		{
+			name: "trigger with no release at stream end",
+			events: []Event{
+				mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+				mkEvent(1*time.Second, FBCCPin, 0, 2e6, 0.23, 0),
+			},
+			check: func(t *testing.T, eps []Episode, st EpisodeStats) {
+				if len(eps) != 1 || eps[0].Complete || eps[0].Aborted {
+					t.Fatalf("want one open episode: %+v", eps)
+				}
+				if eps[0].RphyBps != 2e6 {
+					t.Fatalf("open episode must still carry its pin: %+v", eps[0])
+				}
+				if st.Count != 1 || st.Incomplete != 1 || st.MeanDuration != 0 || st.MeanHeld != 0 {
+					t.Fatalf("open-episode summary wrong: %+v", st)
+				}
+			},
+		},
+		{
+			name: "watchdog fires inside the 2-RTT hold",
+			events: []Event{
+				mkEvent(1*time.Second, FBCCTrigger, 0, 15000, 9000, 10),
+				mkEvent(1*time.Second, FBCCPin, 0, 2e6, 0.5, 0),
+				// The pin scheduled a 500 ms hold; the watchdog trips
+				// 120 ms in, well before the hold would have expired.
+				mkEvent(1120*time.Millisecond, FBCCWatchdog, 0, 0.25, 0, 0),
+			},
+			check: func(t *testing.T, eps []Episode, st EpisodeStats) {
+				if len(eps) != 1 || !eps[0].Complete || !eps[0].Aborted {
+					t.Fatalf("watchdog inside the hold must close+abort: %+v", eps)
+				}
+				if eps[0].Duration() != 120*time.Millisecond {
+					t.Fatalf("Duration = %v, want 120ms", eps[0].Duration())
+				}
+				// An aborted episode never contributes to MeanHeld — the
+				// hold was cut short, not honored.
+				if st.Aborted != 1 || st.MeanHeld != 0 {
+					t.Fatalf("aborted hold leaked into MeanHeld: %+v", st)
+				}
+				if st.MeanDuration != 120*time.Millisecond {
+					t.Fatalf("MeanDuration = %v", st.MeanDuration)
+				}
+			},
+		},
+		{
+			name:   "empty stream",
+			events: nil,
+			check: func(t *testing.T, eps []Episode, st EpisodeStats) {
+				if len(eps) != 0 || st != (EpisodeStats{}) {
+					t.Fatalf("empty stream produced state: %+v %+v", eps, st)
+				}
+			},
+		},
+		{
+			name: "watchdog with nothing open",
+			events: []Event{
+				mkEvent(1*time.Second, FBCCWatchdog, 0, 0.25, 0, 0),
+				mkEvent(2*time.Second, FBCCPin, 0, 2e6, 0.23, 0),
+			},
+			check: func(t *testing.T, eps []Episode, st EpisodeStats) {
+				if len(eps) != 0 || st.Count != 0 {
+					t.Fatalf("orphan watchdog/pin created episodes: %+v", eps)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eps := Episodes(tc.events)
+			tc.check(t, eps, SummarizeEpisodes(eps))
+
+			// The streaming tracker must agree event for event.
+			var tr EpisodeTracker
+			for i := range tc.events {
+				tr.Observe(&tc.events[i])
+			}
+			streamed := tr.Episodes()
+			if len(streamed) != len(eps) {
+				t.Fatalf("tracker found %d episodes, batch found %d", len(streamed), len(eps))
+			}
+			for i := range eps {
+				if streamed[i] != eps[i] {
+					t.Fatalf("tracker episode %d differs: %+v vs %+v", i, streamed[i], eps[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEpisodesFromFilteredBus: a bus filtered to kinds that never fire
+// yields an empty stream, and the analyzer treats it as zero episodes.
+func TestEpisodesFromFilteredBus(t *testing.T) {
+	b := NewBus(FBCCTrigger, FBCCPin, FBCCRelease, FBCCWatchdog)
+	p := b.Probe(0)
+	// Only non-fbcc traffic: nothing is kept, nothing is reconstructed.
+	p.Emit(1*time.Second, LTEGrant, 9000, 512, 0, 0)
+	p.Emit(2*time.Second, FrameDisplay, 80, 38, 2, 0)
+	if b.Len() != 0 {
+		t.Fatalf("filtered bus kept %d events", b.Len())
+	}
+	eps := Episodes(b.Events())
+	if len(eps) != 0 {
+		t.Fatalf("empty filtered bus produced %d episodes", len(eps))
+	}
+	if st := SummarizeEpisodes(eps); st != (EpisodeStats{}) {
+		t.Fatalf("empty summary not zero: %+v", st)
+	}
+}
+
 // TestExperimentAggTable: one labeled row per batch, rendered in AddBatch
 // order.
 func TestExperimentAggTable(t *testing.T) {

@@ -28,6 +28,11 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
+// AppendEventJSON appends one event's JSONL object (no trailing newline)
+// to buf — the streaming form of WriteJSONL, used by the binary decoder
+// CLI to re-render events without materializing the stream.
+func AppendEventJSON(buf []byte, e *Event) []byte { return appendJSON(buf, e) }
+
 // appendJSON appends one event's JSONL object (no trailing newline).
 func appendJSON(buf []byte, e *Event) []byte {
 	meta := &kinds[e.Kind]

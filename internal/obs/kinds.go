@@ -90,6 +90,15 @@ const (
 	// NetHandover: an emergent handover completed. Sub=UE id.
 	// A=source cell index, B=target cell index, C=outage duration (s).
 	NetHandover
+	// NetJitter: the live-transport jitter buffer hit a reordering
+	// pathology. A=1 for a late (post-skip) arrival, B=1 for a duplicate,
+	// C=sequences skipped by a hold-expiry drain (each event reports one
+	// pathology; the others are zero).
+	NetJitter
+	// NetReport: the live sender accepted a reverse-channel report.
+	// A=report seq, B=gap since the previous accepted report (s),
+	// C=in-flight bytes after integrating the ack, D=cumulative acked bits.
+	NetReport
 
 	// NumKinds bounds the kind space (not a kind).
 	NumKinds
@@ -128,6 +137,8 @@ var kinds = [NumKinds]kindMeta{
 	NetAttach:     {"net.attach", [4]string{"cell", "handover"}, -1},
 	NetDetach:     {"net.detach", [4]string{"cell", "dropped_bytes"}, -1},
 	NetHandover:   {"net.handover", [4]string{"from_cell", "to_cell", "outage_s"}, 2},
+	NetJitter:     {"net.jitter", [4]string{"late", "dup", "skipped"}, -1},
+	NetReport:     {"net.report", [4]string{"seq", "gap_s", "inflight_bytes", "acked_bits"}, 1},
 }
 
 // String returns the kind's dotted name ("fbcc.trigger").

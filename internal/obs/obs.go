@@ -57,9 +57,25 @@ type Event struct {
 type Bus struct {
 	events []Event
 	keep   [NumKinds]bool
+	retain bool
 	counts [NumKinds]int64
 	hists  [NumKinds]Histogram
 	gauges map[string]float64
+
+	// onEvent, when set, sees every emitted event (all kinds, regardless
+	// of keep filtering) in emission order — the streaming-aggregation
+	// hook (ShardAgg binds its episode tracker here).
+	onEvent func(*Event)
+
+	// Spill state (see sink.go): when sink is non-nil, kept events are
+	// binary-encoded into binbuf instead of retained, and Flush hands the
+	// buffer to the shared BinWriter under this bus's shard marker.
+	sink          *BinWriter
+	shard         int32
+	enc           EventEncoder
+	binbuf        []byte
+	flushAt       int
+	spilledGauges bool
 }
 
 // NewBus creates a bus. With no arguments every kind is recorded; with
@@ -68,7 +84,7 @@ type Bus struct {
 // experiment engine records only the fbcc.* kinds) keeps its memory
 // proportional to what it analyzes.
 func NewBus(only ...Kind) *Bus {
-	b := &Bus{gauges: map[string]float64{}}
+	b := &Bus{gauges: map[string]float64{}, retain: true}
 	if len(only) == 0 {
 		for k := range b.keep {
 			b.keep[k] = true
@@ -96,8 +112,21 @@ func (b *Bus) record(at time.Duration, k Kind, sub int32, a, v, c, d float64) {
 	if h := kinds[k].hist; h >= 0 {
 		b.hists[k].Observe(field(h, a, v, c, d))
 	}
-	if b.keep[k] {
-		b.events = append(b.events, Event{At: at, Kind: k, Sub: sub, A: a, B: v, C: c, D: d})
+	if b.onEvent == nil && !b.keep[k] {
+		return
+	}
+	e := Event{At: at, Kind: k, Sub: sub, A: a, B: v, C: c, D: d}
+	if b.onEvent != nil {
+		b.onEvent(&e)
+	}
+	if !b.keep[k] {
+		return
+	}
+	switch {
+	case b.sink != nil:
+		b.spill(&e)
+	case b.retain:
+		b.events = append(b.events, e)
 	}
 }
 
@@ -131,8 +160,46 @@ func (b *Bus) Count(k Kind) int64 { return b.counts[k] }
 func (b *Bus) Hist(k Kind) *Histogram { return &b.hists[k] }
 
 // SetGauge records a named point-in-time value (session summaries set
-// these at finalize). Gauges render sorted by name.
+// these at finalize). Gauges render — and spill — sorted by name.
 func (b *Bus) SetGauge(name string, v float64) { b.gauges[name] = v }
+
+// Gauge reads a named gauge (ok is false when it was never set).
+func (b *Bus) Gauge(name string) (float64, bool) {
+	v, ok := b.gauges[name]
+	return v, ok
+}
+
+// DisableRetention stops the bus from materializing events in memory:
+// counters, histograms, gauges, sink spilling, and stream observers all
+// still see the full stream, but Events stays empty and Grow becomes a
+// no-op. This is what lets city-scale runs stream telemetry with bounded
+// memory.
+func (b *Bus) DisableRetention() { b.retain = false }
+
+// Ingest replays an externally decoded event through the bus exactly as
+// if it had been emitted: counters, histograms, observers, retention and
+// spilling all apply. The binary decode path uses it to rebuild per-shard
+// registries.
+func (b *Bus) Ingest(e *Event) { b.record(e.At, e.Kind, e.Sub, e.A, e.B, e.C, e.D) }
+
+// observe registers fn to see every emitted event (all kinds, regardless
+// of keep filtering) in emission order. One observer per bus; ShardAgg
+// binds its per-shard episode tracker here.
+func (b *Bus) observe(fn func(*Event)) { b.onEvent = fn }
+
+// absorb merges src's registry into b: counts and histograms add, gauges
+// overwrite (the caller controls merge order — ShardAgg folds shards in
+// ascending shard-id order so the merge is deterministic). Events are
+// not merged; an absorbing bus is a registry view.
+func (b *Bus) absorb(src *Bus) {
+	for k := range src.counts {
+		b.counts[k] += src.counts[k]
+		b.hists[k].Merge(&src.hists[k])
+	}
+	for name, v := range src.gauges {
+		b.gauges[name] = v
+	}
+}
 
 // Reset drops the recorded event stream (counters, histograms and gauges
 // persist). Long-running consumers drain Events and Reset periodically to
@@ -146,7 +213,7 @@ func (b *Bus) Reset() { b.events = b.events[:0] }
 // a bus keeping 2 of NumKinds kinds records roughly that share of the
 // stream. n is a hint: under-reserving merely falls back to append growth.
 func (b *Bus) Grow(n int) {
-	if b == nil || n <= 0 {
+	if b == nil || n <= 0 || !b.retain || b.sink != nil {
 		return
 	}
 	kept := 0

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -209,5 +210,55 @@ func TestRegistryTable(t *testing.T) {
 	}
 	if b.Table().String() != s {
 		t.Fatalf("registry table must render deterministically")
+	}
+}
+
+// TestGaugeOrderingDeterministic: with several gauges set in arbitrary
+// insertion order, every rendering and export path iterates them in
+// sorted-key order — repeated renders are byte-identical (regression for
+// the map-iteration-order bug class; ≥3 gauges so an unsorted walk has
+// many chances to betray itself).
+func TestGaugeOrderingDeterministic(t *testing.T) {
+	names := []string{"throughput_mean_bps", "alpha", "psnr_mean_db", "zz_last", "mid_point"}
+	render := func(insertion []string) string {
+		b := NewBus()
+		for i, name := range insertion {
+			b.SetGauge(name, float64(i+1))
+		}
+		return b.Table().String()
+	}
+	reversed := append([]string(nil), names...)
+	for i, j := 0, len(reversed)-1; i < j; i, j = i+1, j-1 {
+		reversed[i], reversed[j] = reversed[j], reversed[i]
+	}
+	first := render(names)
+	for run := 0; run < 8; run++ {
+		if got := render(names); got != first {
+			t.Fatalf("table rendering varies across runs:\n%s\nvs\n%s", got, first)
+		}
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	last := -1
+	for _, name := range sorted {
+		idx := strings.Index(first, "gauge."+name)
+		if idx < 0 {
+			t.Fatalf("gauge %q missing:\n%s", name, first)
+		}
+		if idx < last {
+			t.Fatalf("gauge %q out of sorted order:\n%s", name, first)
+		}
+		last = idx
+	}
+	// Insertion order must not leak into the rendering — values differ
+	// (they encode insertion position) but row order must not.
+	rev := render(reversed)
+	var firstOrder, revOrder []int
+	for _, name := range sorted {
+		firstOrder = append(firstOrder, strings.Index(first, "gauge."+name))
+		revOrder = append(revOrder, strings.Index(rev, "gauge."+name))
+	}
+	if !sort.IntsAreSorted(firstOrder) || !sort.IntsAreSorted(revOrder) {
+		t.Fatalf("gauge row order depends on insertion order:\n%s\nvs\n%s", first, rev)
 	}
 }

@@ -46,6 +46,30 @@ func bucketOf(v float64) int {
 	return b
 }
 
+// Merge folds another histogram into h. Because sum is a float
+// accumulation, merge order affects the exact bytes of derived means —
+// deterministic consumers (ShardAgg) must merge shards in a fixed order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		*h = *o
+		return
+	}
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
 // N reports the sample count.
 func (h *Histogram) N() int64 { return h.n }
 

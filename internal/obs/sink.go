@@ -1,0 +1,121 @@
+package obs
+
+// sink.go is the spill side of the production telemetry path: a Bus can
+// redirect its kept event stream to a BinWriter (the shared, header-once,
+// error-latching writer of one .pbt stream) instead of materializing it.
+// Many buses — the city's per-cell shards — share one BinWriter; each
+// flush is prefixed with the bus's shard marker so the decoder can
+// reassemble every shard's chain no matter how flushes interleave.
+
+import (
+	"io"
+	"sort"
+)
+
+// BinWriter owns one binary telemetry stream: it writes the 4-byte header
+// before the first payload, counts bytes, and latches the first write
+// error (telemetry must never abort a simulation mid-run — callers check
+// Err once, after the run). Writes are not synchronized; the city flushes
+// all shard buffers from its single-threaded barrier.
+type BinWriter struct {
+	w          io.Writer
+	err        error
+	n          int64
+	headerDone bool
+}
+
+// NewBinWriter wraps w as a binary telemetry sink.
+func NewBinWriter(w io.Writer) *BinWriter { return &BinWriter{w: w} }
+
+func (bw *BinWriter) write(p []byte) {
+	if bw.err != nil || len(p) == 0 {
+		return
+	}
+	if !bw.headerDone {
+		bw.headerDone = true
+		var hdr [4]byte
+		if _, err := bw.w.Write(AppendBinaryHeader(hdr[:0])); err != nil {
+			bw.err = err
+			return
+		}
+		bw.n += 4
+	}
+	n, err := bw.w.Write(p)
+	bw.n += int64(n)
+	if err != nil {
+		bw.err = err
+	}
+}
+
+// Bytes reports how many bytes have been written (header included).
+func (bw *BinWriter) Bytes() int64 { return bw.n }
+
+// Err reports the latched first write error, if any.
+func (bw *BinWriter) Err() error { return bw.err }
+
+// SpillTo redirects the bus's kept event stream to w instead of retaining
+// it: every kept event is appended, binary-encoded, to a pending buffer
+// that Flush hands to w under the bus's shard marker. shard tags this
+// bus's records inside the shared stream (each spilling bus needs a
+// distinct shard id). autoFlush > 0 flushes whenever the pending buffer
+// reaches that many bytes; 0 leaves flushing entirely to explicit Flush
+// calls — the city flushes every shard at its 10 ms clock barriers, in
+// shard-id order, so the file is byte-identical at any worker count.
+func (b *Bus) SpillTo(w *BinWriter, shard int32, autoFlush int) {
+	b.sink = w
+	b.shard = shard
+	b.flushAt = autoFlush
+	b.enc.Reset()
+	if b.binbuf == nil {
+		b.binbuf = make([]byte, 0, 4096)
+	}
+}
+
+// Flush writes the pending binary buffer (if any) to the sink. Safe on a
+// nil or non-spilling bus.
+func (b *Bus) Flush() {
+	if b == nil || b.sink == nil || len(b.binbuf) == 0 {
+		return
+	}
+	b.sink.write(b.binbuf)
+	b.binbuf = b.binbuf[:0]
+}
+
+// FinishSpill spills the bus's gauges (sorted by name, once) and flushes
+// everything pending. Call after the run; safe on a nil or non-spilling
+// bus.
+func (b *Bus) FinishSpill() {
+	if b == nil || b.sink == nil {
+		return
+	}
+	if len(b.gauges) > 0 && !b.spilledGauges {
+		b.spilledGauges = true
+		names := make([]string, 0, len(b.gauges))
+		for name := range b.gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.binPending()
+		for _, name := range names {
+			b.binbuf = AppendGauge(b.binbuf, name, b.gauges[name])
+		}
+	}
+	b.Flush()
+}
+
+// binPending opens a flush unit: the first record after every flush is
+// the bus's shard marker, so the decoder always knows whose chain the
+// following records extend.
+func (b *Bus) binPending() {
+	if len(b.binbuf) == 0 {
+		b.binbuf = AppendShardMarker(b.binbuf, b.shard)
+	}
+}
+
+func (b *Bus) spill(e *Event) {
+	b.binPending()
+	b.binbuf = b.enc.AppendEvent(b.binbuf, e)
+	if b.flushAt > 0 && len(b.binbuf) >= b.flushAt {
+		b.Flush()
+	}
+}

@@ -12,6 +12,7 @@ package realnet
 import (
 	"time"
 
+	"poi360/internal/obs"
 	"poi360/internal/rtp"
 	"poi360/internal/simclock"
 )
@@ -49,7 +50,13 @@ type JitterBuffer struct {
 	dups    int64 // duplicate of a sequence still buffered
 	skipped int64 // sequences declared lost by an expired hold
 	depth   int   // high-water buffered count
+
+	probe *obs.Probe // NetJitter emissions (nil = disabled)
 }
+
+// SetProbe installs the buffer's telemetry probe (nil disables): every
+// late arrival, duplicate and hold-expiry skip emits a net.jitter event.
+func (jb *JitterBuffer) SetProbe(p *obs.Probe) { jb.probe = p }
 
 // NewJitterBuffer creates a buffer delivering released packets, in
 // sequence order, to deliver on the scheduler goroutine. hold <= 0 uses
@@ -67,10 +74,12 @@ func NewJitterBuffer(clk simclock.Scheduler, hold time.Duration, deliver func(rt
 func (jb *JitterBuffer) Push(h rtp.WireHeader) {
 	if jb.started && h.Seq < jb.next {
 		jb.late++
+		jb.probe.Emit(jb.clk.Now(), obs.NetJitter, 1, 0, 0, 0)
 		return
 	}
 	if _, dup := jb.buffered[h.Seq]; dup {
 		jb.dups++
+		jb.probe.Emit(jb.clk.Now(), obs.NetJitter, 0, 1, 0, 0)
 		return
 	}
 	if !jb.started {
@@ -104,6 +113,7 @@ func (jb *JitterBuffer) drain() {
 		}
 		if head.h.Seq > jb.next {
 			jb.skipped += head.h.Seq - jb.next
+			jb.probe.Emit(now, obs.NetJitter, 0, 0, float64(head.h.Seq-jb.next), 0)
 		}
 		jb.next = head.h.Seq + 1
 		jb.pop()

@@ -9,6 +9,7 @@ package realnet
 import (
 	"time"
 
+	"poi360/internal/obs"
 	"poi360/internal/projection"
 	"poi360/internal/rtp"
 	"poi360/internal/simclock"
@@ -47,6 +48,9 @@ type ReceiverConfig struct {
 	// AppFeedback, if non-nil, supplies the application feedback for each
 	// report: viewer ROI, window-averaged mismatch M, GCC target rate.
 	AppFeedback func(now time.Duration) (roi projection.Tile, m time.Duration, rate float64)
+	// Probe, if non-nil, receives a net.jitter event for every late
+	// arrival, duplicate, and hold-expiry skip in the jitter buffer.
+	Probe *obs.Probe
 }
 
 // Receiver is the live receive pipeline. All methods must run on the
@@ -92,6 +96,7 @@ func NewReceiver(clk simclock.Scheduler, cfg ReceiverConfig) *Receiver {
 		scratch:    make([]byte, 0, ReportLen),
 	}
 	r.jb = NewJitterBuffer(clk, cfg.Hold, r.release)
+	r.jb.SetProbe(cfg.Probe)
 	if cfg.SendReport != nil {
 		clk.Ticker(cfg.ReportEvery, r.reportTick)
 	}

@@ -14,8 +14,11 @@
 package realnet
 
 import (
+	"time"
+
 	"poi360/internal/lte"
 	"poi360/internal/netsim"
+	"poi360/internal/obs"
 	"poi360/internal/rtp"
 	"poi360/internal/simclock"
 )
@@ -37,12 +40,14 @@ type Transport struct {
 	writeErrs int64
 
 	// Reverse-path state from receiver reports.
-	haveReport bool
-	lastSeq    uint32
-	ackedBytes float64 // CumBytes plus the estimated wire bytes of lost packets
-	staleRpts  int64
-	parseErrs  int64
-	onReport   func(Report)
+	haveReport   bool
+	lastSeq      uint32
+	lastReportAt time.Duration // receipt instant of the last accepted report
+	ackedBytes   float64       // CumBytes plus the estimated wire bytes of lost packets
+	staleRpts    int64
+	parseErrs    int64
+	onReport     func(Report)
+	probe        *obs.Probe // NetReport emissions (nil = disabled)
 
 	// Synthesized diagnostics.
 	diag          func(lte.DiagReport)
@@ -110,6 +115,13 @@ func (t *Transport) AccessBufferBytes() int {
 // lte.DiagReport every lte.DefaultDiagPeriod once receiver reports flow.
 func (t *Transport) SetDiagListener(fn func(lte.DiagReport)) { t.diag = fn }
 
+// SetProbe installs the transport's telemetry probe (nil disables): every
+// accepted receiver report emits a net.report event carrying its sequence,
+// the gap since the previous accepted report, and the resulting in-flight
+// and acked views. The session attaches its own probe here through the
+// optional SetProbe transport interface.
+func (t *Transport) SetProbe(p *obs.Probe) { t.probe = p }
+
 // SetFeedbackFault implements netsim.Transport. Live mode has a real
 // network to provide disturbances, but the hook still works — applied at
 // the report-delivery point — so fault scripts can be rehearsed against
@@ -151,7 +163,13 @@ func (t *Transport) applyReport(rep Report) {
 		t.staleRpts++
 		return
 	}
+	now := t.clk.Now()
+	var gap time.Duration
+	if t.haveReport {
+		gap = now - t.lastReportAt
+	}
 	t.lastSeq = rep.Seq
+	t.lastReportAt = now
 	t.haveReport = true
 	// Packets between the highest sequence seen and the ones received are
 	// lost or still in flight behind it; counting them acked keeps the
@@ -164,6 +182,8 @@ func (t *Transport) applyReport(rep Report) {
 	if acked > t.ackedBytes { // cumulative view never regresses
 		t.ackedBytes = acked
 	}
+	t.probe.Emit(now, obs.NetReport,
+		float64(rep.Seq), gap.Seconds(), float64(t.AccessBufferBytes()), t.ackedBytes*8)
 	if t.onReport != nil {
 		t.onReport(rep)
 	}

@@ -51,6 +51,11 @@ type MultiConfig struct {
 	// per-session Config.Obs), and cell-level fault markers are announced
 	// on Obs.Probe(-1). Probes only observe — wiring a bus cannot change
 	// any session's trajectory (internal/obs determinism contract).
+	//
+	// The bus composes with binary spilling: because the whole scenario
+	// runs on one clock, the caller may SpillTo a BinWriter before
+	// RunShared and FinishSpill after it — no barrier discipline is
+	// needed, timestamps are already monotone on the single shard.
 	Obs *obs.Bus
 }
 

@@ -315,6 +315,50 @@ type TelemetryAgg = obs.ExperimentAgg
 // NewTelemetryAgg builds an empty experiment-level episode aggregator.
 func NewTelemetryAgg() *TelemetryAgg { return obs.NewExperimentAgg() }
 
+// TelemetryBinWriter owns one binary (.pbt) telemetry stream: it writes
+// the stream header before the first payload, counts bytes, and latches
+// the first write error. Point a bus at it with
+// TelemetryBus.SpillTo(w, shard, autoFlush) — kept events then stream to
+// the writer instead of accumulating in memory — or hand it to
+// CityConfig.Sink to stream a whole city's radio telemetry.
+type TelemetryBinWriter = obs.BinWriter
+
+// NewTelemetryBinWriter wraps w as a binary telemetry sink.
+func NewTelemetryBinWriter(w io.Writer) *TelemetryBinWriter { return obs.NewBinWriter(w) }
+
+// TelemetryShardAgg merges counters, histograms, gauges and FBCC episode
+// statistics across per-shard buses as they stream — no event retention —
+// in a deterministic order (ascending shard id, emission order within a
+// shard), so the merged registry is byte-identical at any worker count.
+// CityConfig.Agg accepts one; Bind attaches further buses by shard id.
+type TelemetryShardAgg = obs.ShardAgg
+
+// NewTelemetryShardAgg builds an empty streaming shard aggregate.
+func NewTelemetryShardAgg() *TelemetryShardAgg { return obs.NewShardAgg() }
+
+// TelemetryReplayer incrementally decodes a binary telemetry stream into
+// a TelemetryShardAgg (and an optional OnEvent callback), tolerating
+// arbitrary read boundaries — the engine behind poi360-trace -from-bin
+// and its -live tailing mode.
+type TelemetryReplayer = obs.Replayer
+
+// NewTelemetryReplayer creates a replayer feeding agg (nil when only the
+// OnEvent callback matters).
+func NewTelemetryReplayer(agg *TelemetryShardAgg) *TelemetryReplayer { return obs.NewReplayer(agg) }
+
+// ReadTelemetryBinary replays a complete binary telemetry stream from r
+// into agg (and onEvent, when non-nil), returning the number of data
+// records decoded.
+func ReadTelemetryBinary(r io.Reader, agg *TelemetryShardAgg, onEvent func(shard int32, e *TelemetryEvent)) (int64, error) {
+	return obs.ReadBinary(r, agg, onEvent)
+}
+
+// AppendTelemetryEventJSON appends one event's JSONL object (no trailing
+// newline) to buf — the streaming form of WriteTelemetryJSONL.
+func AppendTelemetryEventJSON(buf []byte, e *TelemetryEvent) []byte {
+	return obs.AppendEventJSON(buf, e)
+}
+
 // Version identifies this reproduction.
 const Version = "1.0.0"
 

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke live-smoke bench-profile bench-snapshot bench-gate ci
+.PHONY: all build test race lint vet fmt bench-smoke faults-smoke multiuser-smoke obs-smoke network-smoke perf-smoke live-smoke bench-profile bench-profile-city bench-snapshot bench-gate ci
 
 all: build
 
@@ -112,12 +112,15 @@ obs-smoke:
 ## network-smoke: the multi-cell city subsystem under the race detector —
 ## lockstep shard advance at several worker counts with byte-identity of
 ## results and obs event streams, emergent handover + watchdog recovery,
-## the grid-walk geometry, and the city experiment table. The full-scale
+## the grid-walk geometry, and the city experiment table, plus one raced
+## pass of the pipelined epoch loop at every worker tier the scaling
+## benchmark covers (1/2/4/8 persistent workers). The full-scale
 ## (100 cells × 1000 UEs) acceptance run honors -short and therefore runs
 ## in plain `make test`, not here.
 network-smoke:
 	$(GO) test -race -short -run 'City|GridWalk' ./internal/network
 	$(GO) test -race -run 'NetworkCityTable' ./internal/experiments
+	$(GO) test -race -bench 'CityWorkers' -benchtime 1x -run '^$$' ./internal/network
 
 ## perf-smoke: the hot-path allocation gates (TestPerf* across packages:
 ## zero-alloc Eq. 1 matrix lookups, the zero-alloc binary event encoder,
@@ -151,6 +154,17 @@ bench-profile:
 	$(GO) run ./cmd/poi360-bench -experiment fig16a \
 		-cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
 	@echo "profiles written to ./profiles (inspect with: go tool pprof profiles/cpu.pprof)"
+
+## bench-profile-city: profile the city perf-trajectory scenario in
+## isolation — the epoch loop, SoA UE engine and scheduler hot path,
+## without the paper-experiment harness around it. Profiles land in
+## ./profiles; CI uploads them as an artifact from the bench-snapshot job.
+bench-profile-city:
+	@mkdir -p profiles
+	$(GO) run ./cmd/poi360-bench -scenario city-64c-256ue-10s -bench-reps 3 \
+		-json profiles/city-snapshot.json \
+		-cpuprofile profiles/city-cpu.pprof -memprofile profiles/city-mem.pprof
+	@echo "profiles written to ./profiles (inspect with: go tool pprof profiles/city-cpu.pprof)"
 
 ## bench-snapshot: measure the perf-trajectory scenarios and write a
 ## snapshot stamped with the current short commit hash (BENCH_<sha>.json).

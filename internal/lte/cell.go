@@ -50,6 +50,22 @@ type CellConfig struct {
 	// residency; the default keeps the legacy bit-exact stochastic path
 	// for 1-UE cells.
 	AlwaysPF bool
+	// Src, when non-nil, supplies the cell's uniform randomness (capacity
+	// process and, on legacy 1-UE cells, the shared grant stream) instead
+	// of the default math/rand source seeded from Profile.Seed. The city
+	// layer passes seeds.SplitMix here: 8 bytes of stream state per cell
+	// instead of a 5 KB lagged-Fibonacci table. nil preserves the legacy
+	// source bit-exactly.
+	Src rand.Source
+	// CapacityStride coarsens the capacity process to one step every
+	// CapacityStride subframes (stepping by stride·1 ms, so OU drift,
+	// burst and fade hazards cover the same wall time). 0 or 1 keeps the
+	// per-subframe stepping of the session model. The city layer steps its
+	// cells once per 10 ms epoch: background load and busy bursts move on
+	// 100 ms+ timescales, grants still draw against the held capacity
+	// every subframe, and the per-subframe Norm/Uniform draws of several
+	// hundred cells were a top-five row of the city CPU profile.
+	CapacityStride int
 }
 
 // DefaultCellConfig returns the calibrated cell model for a profile.
@@ -72,6 +88,9 @@ func (c CellConfig) Validate() error {
 	if c.Profile.BackgroundLoad < 0 || c.Profile.BackgroundLoad >= 1 {
 		return fmt.Errorf("lte: BackgroundLoad must be in [0,1), got %g", c.Profile.BackgroundLoad)
 	}
+	if c.CapacityStride < 0 {
+		return fmt.Errorf("lte: CapacityStride must be non-negative, got %d", c.CapacityStride)
+	}
 	return nil
 }
 
@@ -88,6 +107,15 @@ type UEConfig struct {
 	DiagPeriod time.Duration
 	// Seed drives the UE's grant/TBS randomness.
 	Seed int64
+	// Src, when non-nil, supplies the UE's grant/TBS randomness instead of
+	// a fresh math/rand source seeded from Seed (which Src callers leave
+	// zero). The city layer reuses one 8-byte seeds.SplitMix per UE slot
+	// across re-attachments — reseeding is a single store, where seeding a
+	// lagged-Fibonacci table per residency was ~13% of the city profile. A
+	// detached UE's row never draws again (detached rows are excluded from
+	// scheduling), so handing the same source to the next residency cannot
+	// interleave streams. nil preserves the legacy source bit-exactly.
+	Src rand.Source
 	// DiagFault, when non-nil, suppresses the diagnostic report due at the
 	// given instant when it returns true (a stalled chipset diag feed).
 	DiagFault func(at time.Duration) bool
@@ -147,6 +175,45 @@ type Cell struct {
 	cap     capacityProcess
 	started bool
 
+	// active lists the attached (non-detached) rows in ascending id order.
+	// Rows are never deleted — UE ids index the SoA — but a city cell with
+	// population churn accumulates dead rows, and the subframe loop used
+	// to walk all of them every millisecond. Detached rows are inert by
+	// construction (buf 0, ewma 0, diag never due), so skipping them is
+	// behaviour-identical; for cells that never detach, active == all rows
+	// and the iteration is unchanged.
+	active []int32
+
+	// capStride/capCountdown implement CellConfig.CapacityStride: the
+	// capacity process steps once every capStride subframes by the full
+	// stride interval.
+	capStride    int
+	capCountdown int
+
+	// sfIndex counts subframes since Start; diagNext is the earliest
+	// subframe index at which any active row's diag report is due, so the
+	// subframe loop decides "any diag due?" with one comparison instead of
+	// walking every row every millisecond.
+	sfIndex  int64
+	diagNext int64
+
+	// bufTotal is the summed firmware-buffer occupancy of the active rows.
+	// A multi-UE subframe with bufTotal == 0 has nothing to rank, grant or
+	// serve — the only PF state that still moves is the served-rate EWMA
+	// decay, which pfIdle defers (counted per idle subframe) and syncPF
+	// replays exactly before the next read. Between video frames most
+	// subframes are idle, so the common case collapses to two counter
+	// updates.
+	bufTotal int
+	pfIdle   int32
+	// pfPend marks that the last busy subframe's served-rate EWMA update
+	// is still deferred (folded into the next pfGrant pass or syncPF).
+	pfPend bool
+	// now caches clk.Now() once per subframe: serve/emitDiag run only from
+	// the subframe path, and a cell serves a grant or two every millisecond
+	// — the per-grant Scheduler interface call was measurable at city scale.
+	now time.Duration
+
 	// soa holds the per-UE state the subframe loop touches every
 	// millisecond, as parallel arrays indexed by UE id (structure-of-
 	// arrays, DESIGN.md §14). The 30 000 subframes of a session then walk
@@ -159,7 +226,8 @@ type Cell struct {
 type cellSoA struct {
 	buf       []int     // firmware-buffer occupancy, bytes
 	knee      []float64 // UEConfig.BufferKneeBytes
-	diagSub   []int32   // subframes since the last diag report
+	invKnee   []float64 // 1/knee, so the per-subframe occupancy is a multiply
+	diagLast  []int64   // sfIndex of the last diag report (or admission)
 	diagEvery []int32   // diag period in subframes
 	diagTBS   []float64 // bits served since the last diag report
 	ewma      []float64 // PF served-rate EWMA, bits/s
@@ -168,11 +236,13 @@ type cellSoA struct {
 	pfServed  []float64 // scratch: bits served this subframe
 }
 
-// add appends one UE's row.
-func (s *cellSoA) add(cfg UEConfig) {
+// add appends one UE's row; the caller stamps diagLast with the current
+// subframe index.
+func (s *cellSoA) add(cfg UEConfig, sfIndex int64) {
 	s.buf = append(s.buf, 0)
 	s.knee = append(s.knee, cfg.BufferKneeBytes)
-	s.diagSub = append(s.diagSub, 0)
+	s.invKnee = append(s.invKnee, 1/cfg.BufferKneeBytes)
+	s.diagLast = append(s.diagLast, sfIndex)
 	s.diagEvery = append(s.diagEvery, int32(cfg.DiagPeriod/Subframe))
 	s.diagTBS = append(s.diagTBS, 0)
 	s.ewma = append(s.ewma, 0)
@@ -189,10 +259,19 @@ func NewCell(clk simclock.Scheduler, cfg CellConfig) (*Cell, error) {
 	if cfg.PFWindow == 0 {
 		cfg.PFWindow = DefaultPFWindow
 	}
+	src := cfg.Src
+	if src == nil {
+		src = rand.NewSource(cfg.Profile.Seed)
+	}
 	c := &Cell{
-		clk: clk,
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Profile.Seed)),
+		clk:       clk,
+		cfg:       cfg,
+		rng:       rand.New(src),
+		capStride: cfg.CapacityStride,
+		diagNext:  math.MaxInt64,
+	}
+	if c.capStride < 1 {
+		c.capStride = 1
 	}
 	c.cap.init(cfg.Profile)
 	c.cap.fault = cfg.CapacityFault
@@ -210,15 +289,7 @@ func (c *Cell) AddUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	u := &UE{
-		cell:    c,
-		id:      len(c.ues),
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		deliver: deliver,
-	}
-	c.ues = append(c.ues, u)
-	c.soa.add(cfg)
+	u := c.admit(cfg, deliver)
 	return u, nil
 }
 
@@ -231,16 +302,38 @@ func (c *Cell) AttachUE(cfg UEConfig, deliver func(Packet)) (*UE, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return c.admit(cfg, deliver), nil
+}
+
+// admit appends the UE row shared by AddUE and AttachUE.
+func (c *Cell) admit(cfg UEConfig, deliver func(Packet)) *UE {
+	src := cfg.Src
+	if src == nil {
+		src = rand.NewSource(cfg.Seed)
+	}
 	u := &UE{
 		cell:    c,
 		id:      len(c.ues),
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
 		deliver: deliver,
+		// A video sender's backlog is tens of MTU-sized packets; start at
+		// that scale so the steady state never pays append's regrowth.
+		queue: make([]Packet, 0, 32),
+	}
+	if z, ok := cfg.Src.(interface{ NormFloat64() float64 }); ok {
+		u.nrm = z
 	}
 	c.ues = append(c.ues, u)
-	c.soa.add(cfg)
-	return u, nil
+	c.soa.add(cfg, c.sfIndex)
+	c.active = append(c.active, int32(u.id))
+	if cap(c.order) < len(c.ues) {
+		c.order = make([]int, len(c.ues))
+	}
+	if due := c.sfIndex + int64(c.soa.diagEvery[u.id]); due < c.diagNext || len(c.active) == 1 {
+		c.diagNext = due
+	}
+	return u
 }
 
 // DetachUE removes a UE from scheduling (handover detach): the firmware
@@ -258,15 +351,25 @@ func (c *Cell) DetachUE(u *UE) int {
 	s := &c.soa
 	dropped := s.buf[u.id]
 	s.buf[u.id] = 0
+	c.bufTotal -= dropped
 	s.diagTBS[u.id] = 0
-	s.diagSub[u.id] = 0
-	s.diagEvery[u.id] = math.MaxInt32 // never due again (skipped in subframe)
+	s.diagEvery[u.id] = math.MaxInt32 // never due again (row leaves active)
 	s.ewma[u.id] = 0
 	s.pfServed[u.id] = 0
 	u.queue = u.queue[:0]
 	u.qhead = 0
 	u.headServed = 0
 	u.credit = 0
+	// Drop the row from the active list (order-preserving, so the PF
+	// metric loop keeps visiting rows in ascending id order — the
+	// deterministic tie-break of the ranking).
+	for k, id := range c.active {
+		if int(id) == u.id {
+			copy(c.active[k:], c.active[k+1:])
+			c.active = c.active[:len(c.active)-1]
+			break
+		}
+	}
 	return dropped
 }
 
@@ -277,7 +380,14 @@ func (c *Cell) DetachUE(u *UE) int {
 func (c *Cell) addLegacyUE(cfg UEConfig, deliver func(Packet)) *UE {
 	u := &UE{cell: c, id: len(c.ues), cfg: cfg, rng: c.rng, deliver: deliver}
 	c.ues = append(c.ues, u)
-	c.soa.add(cfg)
+	c.soa.add(cfg, c.sfIndex)
+	c.active = append(c.active, int32(u.id))
+	if cap(c.order) < len(c.ues) {
+		c.order = make([]int, len(c.ues))
+	}
+	if due := c.sfIndex + int64(c.soa.diagEvery[u.id]); due < c.diagNext {
+		c.diagNext = due
+	}
 	return u
 }
 
@@ -303,25 +413,53 @@ func (c *Cell) CurrentCapacity() float64 { return c.cap.current }
 
 // subframe runs once per millisecond: advance the capacity process, then
 // allocate the subframe's grants under the discipline matching the cell's
-// population.
+// population. Per-row work only happens when a row can be affected: the
+// diag sweep runs when the earliest report is due (one comparison against
+// diagNext per subframe, with per-row "subframes covered" reconstructed
+// from sfIndex − diagLast), and a backlog-free PF cell defers its EWMA
+// decay (see bufTotal/pfIdle) — so the common idle subframe costs a few
+// counter updates regardless of population.
 func (c *Cell) subframe() {
-	c.cap.step(c.rng, Subframe)
-	diagSub := c.soa.diagSub
-	for i := range diagSub {
-		diagSub[i]++
+	if c.capCountdown == 0 {
+		c.cap.step(c.rng, time.Duration(c.capStride)*Subframe)
+		c.capCountdown = c.capStride
 	}
+	c.capCountdown--
+	c.sfIndex++
+	c.now = c.clk.Now()
 	if len(c.ues) == 1 && !c.cfg.AlwaysPF {
 		if !c.ues[0].detached {
 			c.stochasticGrant(c.ues[0])
 		}
-	} else if len(c.ues) >= 1 {
-		c.pfGrant()
-	}
-	for i, due := range c.soa.diagEvery {
-		if diagSub[i] >= due {
-			c.ues[i].emitDiag()
+	} else if len(c.active) >= 1 {
+		if c.bufTotal == 0 {
+			c.pfIdle++
+		} else {
+			c.pfGrant()
 		}
 	}
+	if c.sfIndex >= c.diagNext && len(c.active) > 0 {
+		c.diagSweep()
+	}
+}
+
+// diagSweep emits every due diag report and recomputes the next due
+// instant. Runs once per DiagPeriod per cell (not per subframe).
+func (c *Cell) diagSweep() {
+	s := &c.soa
+	next := int64(math.MaxInt64)
+	for _, id := range c.active {
+		i := int(id)
+		due := s.diagLast[i] + int64(s.diagEvery[i])
+		if c.sfIndex >= due {
+			c.ues[i].emitDiag()
+			due = s.diagLast[i] + int64(s.diagEvery[i])
+		}
+		if due < next {
+			next = due
+		}
+	}
+	c.diagNext = next
 }
 
 // stochasticGrant is the legacy single-UE discipline: the grant frequency
@@ -361,50 +499,134 @@ func (c *Cell) stochasticGrant(u *UE) {
 // share r_i·1ms, the remainder flows to the next UE. Granted TBS carries
 // the same multiplicative noise as the legacy discipline.
 func (c *Cell) pfGrant() {
-	c.order = c.order[:0]
+	// One fused pass over the active rows does three jobs: it settles each
+	// row's EWMA (the served-rate update the cell's *previous* busy
+	// subframe deferred via pfPend, then any idle-subframe decay deferred
+	// via pfIdle — replayed as the exact per-subframe updates, so values
+	// are bit-identical to running the bookkeeping loop every subframe),
+	// computes the PF metric against the settled value, and ranks the
+	// backlogged rows. The classic shape — metric pass, waterfill, then a
+	// separate EWMA pass — walked every row twice per subframe.
 	s := &c.soa
-	for i := range c.ues {
-		if s.buf[i] == 0 {
+	alpha := float64(Subframe) / float64(c.cfg.PFWindow)
+	k := c.pfIdle
+	c.pfIdle = 0
+	pend := c.pfPend
+	capNow := c.cap.current
+	// The ranking writes into c.order's full backing array (capacity kept
+	// ≥ len(ues) by admit) with an explicit count, sidestepping append's
+	// per-entry capacity check in the hottest loop of the simulation.
+	ord := c.order[:cap(c.order)]
+	met := s.pfMetric
+	n := 0
+	for _, id := range c.active {
+		i := int(id)
+		e := s.ewma[i]
+		if pend {
+			e += alpha * (s.pfServed[i]*invSubframeSec - e)
+			s.pfServed[i] = 0
+		}
+		for j := k; j > 0 && e != 0; j-- {
+			e += alpha * (0 - e)
+		}
+		s.ewma[i] = e
+		b := s.buf[i]
+		if b == 0 {
 			continue
 		}
-		occ := float64(s.buf[i]) / s.knee[i]
+		occ := float64(b) * s.invKnee[i]
 		if occ > 1 {
 			occ = 1
 		}
-		s.pfAchiev[i] = c.cap.current * occ
-		s.pfMetric[i] = s.pfAchiev[i] / math.Max(s.ewma[i], pfRateFloor)
+		ach := capNow * occ
+		s.pfAchiev[i] = ach
+		// max(ewma, floor) spelled as a comparison: math.Max is not
+		// intrinsified on every target and its NaN/±0 handling is dead
+		// weight here (ewma is a finite non-negative EWMA).
+		if e < pfRateFloor {
+			e = pfRateFloor
+		}
+		m := ach / e
+		met[i] = m
 		// Insertion sort by metric descending, UE id ascending on ties:
 		// populations are small (the per-cell UE count), and the stable
-		// deterministic order matters more than asymptotics.
-		pos := len(c.order)
-		for pos > 0 && s.pfMetric[c.order[pos-1]] < s.pfMetric[i] {
+		// deterministic order matters more than asymptotics. The shift is a
+		// manual loop — with one to four entries a memmove call costs more
+		// than the moves.
+		pos := n
+		for pos > 0 && met[ord[pos-1]] < m {
 			pos--
 		}
-		c.order = append(c.order, 0)
-		copy(c.order[pos+1:], c.order[pos:])
-		c.order[pos] = i
+		for q := n; q > pos; q-- {
+			ord[q] = ord[q-1]
+		}
+		ord[pos] = i
+		n++
 	}
+	c.pfPend = true
 
-	remaining := c.cap.current * subframeSec // bits this subframe
-	for _, idx := range c.order {
+	remaining := capNow * subframeSec // bits this subframe
+	for _, idx := range ord[:n] {
 		if remaining <= 0 {
 			break
 		}
 		u := c.ues[idx]
-		want := s.pfAchiev[idx] * subframeSec
-		tbs := math.Min(want, remaining)
+		tbs := s.pfAchiev[idx] * subframeSec
+		if remaining < tbs {
+			tbs = remaining
+		}
 		if tbs <= 0 {
 			continue
 		}
 		remaining -= tbs
-		tbs *= math.Max(0.1, 1+u.rng.NormFloat64()*u.cfg.TBSNoise)
+		var nv float64
+		if u.nrm != nil {
+			nv = u.nrm.NormFloat64()
+		} else {
+			nv = u.rng.NormFloat64()
+		}
+		noise := 1 + nv*u.cfg.TBSNoise
+		if noise < 0.1 {
+			noise = 0.1
+		}
+		tbs *= noise
 		s.pfServed[idx] = u.serve(tbs)
 	}
+}
 
+// invSubframeSec turns the per-subframe bits→bits/s conversion into a
+// multiply in the EWMA update (runs per active row per backlogged subframe).
+var invSubframeSec = 1 / subframeSec
+
+// syncPF settles the deferred PF bookkeeping (see pfGrant) outside the
+// grant path: the served-rate EWMA update of the last busy subframe, then
+// the replayed decay of any idle subframes since — each the exact
+// per-subframe update, so values are bit-identical to running the loop
+// every subframe. Called before any external ewma read; the grant path
+// folds the same settling into its metric pass. The idle replay stops
+// early once a value reaches exactly zero, which bounds pathological idle
+// stretches.
+func (c *Cell) syncPF() {
+	k := c.pfIdle
+	pend := c.pfPend
+	if k == 0 && !pend {
+		return
+	}
+	c.pfIdle = 0
+	c.pfPend = false
+	s := &c.soa
 	alpha := float64(Subframe) / float64(c.cfg.PFWindow)
-	for i := range s.ewma {
-		s.ewma[i] += alpha * (s.pfServed[i]/subframeSec - s.ewma[i])
-		s.pfServed[i] = 0
+	for _, id := range c.active {
+		i := int(id)
+		e := s.ewma[i]
+		if pend {
+			e += alpha * (s.pfServed[i]*invSubframeSec - e)
+			s.pfServed[i] = 0
+		}
+		for j := k; j > 0 && e != 0; j-- {
+			e += alpha * (0 - e)
+		}
+		s.ewma[i] = e
 	}
 }
 
@@ -418,6 +640,13 @@ type UE struct {
 	rng     *rand.Rand
 	deliver func(Packet)
 	onDiag  func(DiagReport)
+
+	// nrm, when non-nil, samples the TBS noise directly from the UE's
+	// source (seeds.SplitMix ships a native ziggurat), skipping rand.Rand's
+	// per-variate interface dispatch in the grant loop. Only sources that
+	// implement NormFloat64 opt in — the legacy seeded paths keep rand.Rand
+	// and stay bit-exact.
+	nrm interface{ NormFloat64() float64 }
 
 	// Firmware buffer: FIFO with partial-packet service. queue[qhead:] is
 	// the live window; serve advances qhead instead of re-slicing the front
@@ -478,6 +707,7 @@ func (u *UE) Enqueue(p Packet) bool {
 	}
 	u.queue = append(u.queue, p)
 	*buf += p.Bytes
+	u.cell.bufTotal += p.Bytes
 	return true
 }
 
@@ -496,7 +726,10 @@ func (u *UE) TotalServedBits() float64 { return u.totalServedBits }
 
 // ServedRate reports the PF scheduler's EWMA of this UE's served rate in
 // bits/s (zero until the cell runs a multi-UE allocation).
-func (u *UE) ServedRate() float64 { return u.cell.soa.ewma[u.id] }
+func (u *UE) ServedRate() float64 {
+	u.cell.syncPF() // apply any deferred idle-subframe decay first
+	return u.cell.soa.ewma[u.id]
+}
 
 // DiagStalled reports how many diagnostic reports a scripted DiagFault has
 // suppressed so far.
@@ -537,10 +770,11 @@ func (u *UE) serve(tbsBits float64) float64 {
 	u.totalServedBits += served
 	buf -= bytes
 	s.buf[u.id] = buf
+	u.cell.bufTotal -= bytes
 	// Telemetry: one event per actual grant service — served bits, the
 	// buffer left behind, and the PF metric that won the subframe (0 under
 	// the legacy single-UE stochastic discipline).
-	u.probe.Emit(u.cell.clk.Now(), obs.LTEGrant, served, float64(buf), s.pfMetric[u.id], 0)
+	u.probe.Emit(u.cell.now, obs.LTEGrant, served, float64(buf), s.pfMetric[u.id], 0)
 	for bytes > 0 && u.qhead < len(u.queue) {
 		head := &u.queue[u.qhead]
 		remaining := head.Bytes - u.headServed
@@ -576,13 +810,13 @@ func (u *UE) serve(tbsBits float64) float64 {
 func (u *UE) emitDiag() {
 	s := &u.cell.soa
 	rep := DiagReport{
-		At:          u.cell.clk.Now(),
+		At:          u.cell.now,
 		BufferBytes: s.buf[u.id],
 		SumTBSBits:  s.diagTBS[u.id],
-		Subframes:   int(s.diagSub[u.id]),
+		Subframes:   int(u.cell.sfIndex - s.diagLast[u.id]),
 	}
 	s.diagTBS[u.id] = 0
-	s.diagSub[u.id] = 0
+	s.diagLast[u.id] = u.cell.sfIndex
 	stalled := u.cfg.DiagFault != nil && u.cfg.DiagFault(rep.At)
 	if u.probe != nil {
 		flag := 0.0

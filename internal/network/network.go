@@ -332,11 +332,26 @@ func (r *Result) Fingerprint() string {
 }
 
 // shard is one cell's event domain: its own clock, its lte.Cell, and the
-// modem rows of every residency it ever hosted.
+// modem rows of every residency it ever hosted. residents is the shard's
+// endpoint engine: the ports currently living on this cell, ticked in
+// attach order by one shard-level ticker — replacing two heap tickers per
+// UE with a single periodic that sweeps a contiguous slice.
 type shard struct {
-	clk   *simclock.Clock
-	cell  *lte.Cell
-	links []*lte.UE // one per residency, for per-cell fairness
+	clk       *simclock.Clock
+	cell      *lte.Cell
+	links     []*lte.UE // one per residency, for per-cell fairness
+	residents []*port   // live residencies, mutated only at barriers
+}
+
+// tickResidents is the shard's endpoint tick: one pass over the resident
+// ports per frame interval. The list is mutated only by the coordinator
+// at barriers, so the sweep never observes a concurrent change.
+func (sh *shard) tickResidents() {
+	for _, p := range sh.residents {
+		if p.u != nil {
+			p.u.tick(p)
+		}
+	}
 }
 
 type city struct {
@@ -344,11 +359,69 @@ type city struct {
 	shards []*shard
 	ues    []*ue
 	gridW  int
+	// order is the shard visit order for epoch advance — heaviest
+	// (most-resident) shards first, so under a worker pool the slowest
+	// shard starts earliest and the barrier tail shrinks. Reordered only
+	// at barriers; contents never affect results, only wall time.
+	order []int32
+	pool  *epochPool
 	// radio holds the per-cell telemetry buses (nil unless Config.Agg or
 	// Config.Sink enabled them). Each bus is touched only by its shard's
 	// clock goroutine during an epoch and only by the coordinator at
 	// barriers — the same isolation discipline as the shards themselves.
 	radio []*obs.Bus
+}
+
+// epochPool is the persistent shard-advance worker pool. The previous
+// engine spawned Workers goroutines per 10 ms epoch — 100 spawn/join
+// cycles per simulated second; the pool parks its workers on per-worker
+// command channels between epochs instead, so a barrier costs Workers
+// channel operations. Shard trajectories are independent within an epoch
+// (the package invariant), so cursor scheduling cannot leak into results.
+type epochPool struct {
+	n      *city
+	cmds   []chan time.Duration
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func newEpochPool(n *city, workers int) *epochPool {
+	p := &epochPool{n: n, cmds: make([]chan time.Duration, workers)}
+	for i := range p.cmds {
+		p.cmds[i] = make(chan time.Duration)
+		go p.work(p.cmds[i])
+	}
+	return p
+}
+
+func (p *epochPool) work(cmd chan time.Duration) {
+	for end := range cmd {
+		for {
+			k := int(p.cursor.Add(1)) - 1
+			if k >= len(p.n.order) {
+				break
+			}
+			p.n.shards[p.n.order[k]].clk.Run(end)
+		}
+		p.wg.Done()
+	}
+}
+
+// launch releases every worker on the current epoch; wait is the barrier.
+func (p *epochPool) launch(end time.Duration) {
+	p.cursor.Store(0)
+	p.wg.Add(len(p.cmds))
+	for _, c := range p.cmds {
+		c <- end
+	}
+}
+
+func (p *epochPool) wait() { p.wg.Wait() }
+
+func (p *epochPool) stop() {
+	for _, c := range p.cmds {
+		close(c)
+	}
 }
 
 // Run executes one city simulation to completion.
@@ -362,6 +435,15 @@ func Run(cfg Config) (*Result, error) {
 
 	// --- Shards: one clock + one AlwaysPF cell per grid slot ----------
 	n.shards = make([]*shard, cfg.Cells)
+	// Fading/capacity is held for up to 10 ms of subframes per draw: the
+	// OU correlation time (≈200 ms for the campus profile) is far longer
+	// than a subframe, so stepping the process once per epoch loses
+	// nothing the PF scheduler can see, and removes a Gaussian draw per
+	// cell per subframe from the hot path.
+	capStride := int(cfg.Epoch / lte.Subframe)
+	if maxStride := int(10 * time.Millisecond / lte.Subframe); capStride > maxStride {
+		capStride = maxStride
+	}
 	for c := range n.shards {
 		prof := cfg.Profile
 		prof.Seed = seeds.Stream(seeds.Grid(cfg.Seed, c, 0, 0), "cell")
@@ -369,13 +451,20 @@ func Run(cfg Config) (*Result, error) {
 		// A city cell's discipline must not flip between the legacy
 		// stochastic path and PF as its population churns through 1.
 		cellCfg.AlwaysPF = true
+		// City cells draw from 8-byte SplitMix streams: with hundreds of
+		// cells, math/rand's per-source 5 KB table was a top cache-miss
+		// row of the city profile (see seeds.SplitMix).
+		cellCfg.Src = seeds.NewSource(prof.Seed)
+		cellCfg.CapacityStride = capStride
 		clk := simclock.New()
 		cell, err := lte.NewCell(clk, cellCfg)
 		if err != nil {
 			return nil, fmt.Errorf("network: cell %d: %w", c, err)
 		}
-		n.shards[c] = &shard{clk: clk, cell: cell}
+		sh := &shard{clk: clk, cell: cell}
+		n.shards[c] = sh
 		cell.Start()
+		clk.Ticker(cfg.FrameInterval, sh.tickResidents)
 	}
 
 	// --- Per-cell radio telemetry shards ------------------------------
@@ -409,16 +498,47 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// --- Lockstep epochs ----------------------------------------------
+	//
+	// The barrier is split in two: planMobility advances the mobility
+	// traces (coordinator-exclusive state — u.mrng, u.cur, u.nextMove,
+	// u.stats.Moves — none of it readable by shard events), so under a
+	// worker pool it overlaps the shard advance; applyBoundary runs the
+	// handover state machine strictly after the barrier, where it mutates
+	// residencies. The fold order (UE id) and every draw are unchanged by
+	// the overlap, so results stay byte-identical at any Workers.
+	n.order = make([]int32, len(n.shards))
+	for i := range n.order {
+		n.order[i] = int32(i)
+	}
+	if w := min(cfg.Workers, len(n.shards)); w > 1 {
+		n.pool = newEpochPool(n, w)
+		defer n.pool.stop()
+	}
 	var now time.Duration
 	for now < cfg.Duration {
 		end := now + cfg.Epoch
 		if end > cfg.Duration {
 			end = cfg.Duration
 		}
-		n.advance(end)
+		final := end >= cfg.Duration
+		if n.pool != nil {
+			n.pool.launch(end)
+			if !final {
+				n.planMobility(end)
+			}
+			n.pool.wait()
+		} else {
+			if !final {
+				n.planMobility(end)
+			}
+			for _, k := range n.order {
+				n.shards[k].clk.Run(end)
+			}
+		}
 		now = end
-		if now < cfg.Duration {
-			n.boundary(now)
+		if !final {
+			n.applyBoundary(now)
+			n.reorderShards()
 		}
 		n.flushTelemetry()
 	}
@@ -437,49 +557,25 @@ func Run(cfg Config) (*Result, error) {
 // sink — coordinator stream first (shard -1), then radio shards in cell
 // order. Runs only on the coordinator goroutine (the epoch barrier), so
 // the stream's flush interleaving is a function of the configuration
-// alone, never of worker scheduling.
+// alone, never of worker scheduling. Untelemetered runs skip the sweep
+// entirely (the common benchmark configuration has neither bus).
 func (n *city) flushTelemetry() {
+	if n.cfg.Obs == nil && n.radio == nil {
+		return
+	}
 	n.cfg.Obs.Flush()
 	for _, rb := range n.radio {
 		rb.Flush()
 	}
 }
 
-// advance runs every shard's clock to the epoch end. The worker pool
-// drains an atomic cursor; shard trajectories are independent within an
-// epoch, so scheduling order cannot leak into results.
-func (n *city) advance(end time.Duration) {
-	w := n.cfg.Workers
-	if w > len(n.shards) {
-		w = len(n.shards)
-	}
-	if w <= 1 {
-		for _, sh := range n.shards {
-			sh.clk.Run(end)
-		}
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(cursor.Add(1)) - 1
-				if k >= len(n.shards) {
-					return
-				}
-				n.shards[k].clk.Run(end)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// boundary is the single-threaded epoch barrier: mobility decisions and
-// the handover state machine, in UE-id order (the deterministic fold).
-func (n *city) boundary(now time.Duration) {
+// planMobility advances every mobility trace to the epoch end, in UE-id
+// order. It touches only coordinator-exclusive fields, so the caller may
+// run it concurrently with the shard advance of the same epoch — the
+// trace tells the coordinator where the UE *wants* to be; the handover
+// machinery that acts on it (applyBoundary) still runs strictly at the
+// barrier.
+func (n *city) planMobility(now time.Duration) {
 	for _, u := range n.ues {
 		if u.mrng != nil && now >= u.nextMove {
 			next := stepCell(u.cur, n.cfg.Cells, n.gridW, u.mrng)
@@ -489,12 +585,46 @@ func (n *city) boundary(now time.Duration) {
 				u.stats.Moves++
 			}
 		}
+	}
+}
+
+// applyBoundary is the single-threaded epoch barrier: the handover state
+// machine in UE-id order (the deterministic fold).
+func (n *city) applyBoundary(now time.Duration) {
+	for _, u := range n.ues {
 		switch {
 		case u.serving >= 0 && u.serving != u.cur:
 			n.startHandover(u, now)
 		case u.serving < 0 && now >= u.outageUntil:
 			n.completeHandover(u, now)
 		}
+	}
+}
+
+// reorderShards sorts the shard visit order by resident count, heaviest
+// first (id ascending on ties): under a worker pool the most loaded
+// shards start earliest, so the epoch's critical path is not a heavy
+// shard picked up last. Pure wall-time scheduling — results are
+// independent of visit order. Insertion sort: the order is nearly sorted
+// across consecutive epochs (populations move one UE at a time).
+func (n *city) reorderShards() {
+	if n.pool == nil {
+		return
+	}
+	ord := n.order
+	for i := 1; i < len(ord); i++ {
+		k := ord[i]
+		ck := len(n.shards[k].residents)
+		j := i - 1
+		for j >= 0 {
+			cj := len(n.shards[ord[j]].residents)
+			if cj > ck || (cj == ck && ord[j] < k) {
+				break
+			}
+			ord[j+1] = ord[j]
+			j--
+		}
+		ord[j+1] = k
 	}
 }
 

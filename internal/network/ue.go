@@ -17,18 +17,17 @@ import (
 var lastOfFrame any = new(struct{})
 
 // port is one residency of a UE on a shard — the indirection that makes
-// cross-epoch migration race-free. Every event a residency schedules
-// (tickers, core deliveries, feedback applications) reaches the UE
-// through its port; when the coordinator retires the residency at a
-// barrier it nulls port.u, and every stale event still in the old
-// shard's heap becomes a no-op without ever touching UE state. Ports are
-// written only at single-threaded barriers, so shard workers never race
-// on them.
+// cross-epoch migration race-free. Everything a residency does reaches
+// the UE through its port; when the coordinator retires the residency at
+// a barrier it nulls port.u and unlinks the port from the shard's
+// resident list, so nothing on the old shard can touch UE state again.
+// Ports are written only at single-threaded barriers, so shard workers
+// never race on them.
 type port struct {
 	u    *ue
 	sh   *shard
-	rng  *rand.Rand // per-residency core-path jitter
-	link *lte.UE    // nil once detached (radio gone, core path still live)
+	src  *seeds.SplitMix // per-residency core-path jitter stream
+	link *lte.UE         // nil once detached (radio gone, core path still live)
 	// lastArr enforces core-path FIFO: a delivery never overtakes the
 	// previous one despite independent jitter draws.
 	lastArr time.Duration
@@ -52,9 +51,41 @@ type pendFrame struct {
 	lost    bool
 }
 
+// arrival is one frame in flight across the core path. Core deliveries
+// used to be heap events (one scheduled closure per delivered frame —
+// the largest allocation row of the city profile); they are now entries
+// in a per-UE ring consumed by the next endpoint tick at or after the
+// arrival instant. This is behaviour-preserving because nothing observes
+// a frame arrival between ticks: GCCReceiver.OnFrame and the delivery
+// stats are pure functions of the arrival arguments, and the first
+// consumer of either is the receiver-side Update at the next tick. The
+// core-path FIFO clamp makes arrival times monotone per port, so the
+// ring is consumed strictly from the head.
+type arrival struct {
+	arr     time.Duration
+	capture time.Duration
+	bits    float64
+	counted bool
+}
+
+// feedback is one GCC rate estimate in flight across the reverse path,
+// applied to the sender at the first tick at or after its due time —
+// equivalent to the scheduled application it replaces, because the only
+// reader of the fed-back rate is the sender half of the tick.
+type feedback struct {
+	due  time.Duration
+	rate float64
+}
+
 // ue is one endpoint of the city: the sender half (frame capture, pacing,
 // rate control) and the receiver half (arrival bookkeeping, GCC feedback)
 // of a single uplink video call, resident on one shard at a time.
+//
+// Endpoints are deliberately allocation-free in steady state: the
+// application queue, the pending-frame window, and the arrival/feedback
+// rings all reuse their backing arrays, and the three per-UE RNG streams
+// (mobility, core path, modem) are 8-byte SplitMix slots that a handover
+// reseeds in place instead of reallocating.
 type ue struct {
 	id  int
 	rc  RC
@@ -69,8 +100,15 @@ type ue struct {
 	serving   int // current cell, -1 during a handover outage
 	port      *port
 	link      *lte.UE
-	stops     []func()
 	attachSeq int
+
+	// Persistent per-UE RNG stream slots: reseeded (one store) per
+	// residency with the seeds.Grid/Stream derivation of that residency.
+	// The previous residency's consumers never draw again once retired —
+	// detached modem rows are excluded from scheduling and retired ports
+	// are unreachable — so reuse cannot interleave streams.
+	pathSrc *seeds.SplitMix
+	lteSrc  *seeds.SplitMix
 
 	// handover bookkeeping
 	hoFrom      int
@@ -95,6 +133,13 @@ type ue struct {
 	pend     []pendFrame
 	pendHead int
 
+	// core-path arrivals and reverse-path feedback in flight, both
+	// monotone in due time (see type comments).
+	arrQ    []arrival
+	arrHead int
+	fbQ     []feedback
+	fbHead  int
+
 	probe *obs.Probe
 	stats UEStats
 }
@@ -107,6 +152,14 @@ func (n *city) newUE(id int) (*ue, error) {
 		rgcc:    ratecontrol.DefaultGCCConfig().InitialRate,
 		probe:   cfg.Obs.Probe(int32(id)),
 		cfg:     cfg,
+		pathSrc: seeds.NewSource(0),
+		lteSrc:  seeds.NewSource(0),
+		// Ring capacities sized for steady state (a frame's worth of
+		// packets in flight, one feedback epoch) so appends never regrow.
+		appq: make([]appPkt, 0, 32),
+		arrQ: make([]arrival, 0, 32),
+		fbQ:  make([]feedback, 0, 8),
+		pend: make([]pendFrame, 0, 16),
 	}
 	switch cfg.Mix {
 	case MixFBCC:
@@ -123,7 +176,7 @@ func (n *city) newUE(id int) (*ue, error) {
 
 	// The mobility stream also places the UE: its first draw is the home
 	// cell, so the population spreads deterministically over the grid.
-	mrng := rand.New(rand.NewSource(seeds.Stream(seeds.Grid(cfg.Seed, 0, id, 0), "mobility")))
+	mrng := rand.New(seeds.NewSource(seeds.Stream(seeds.Grid(cfg.Seed, 0, id, 0), "mobility")))
 	u.cur = int(mrng.Int63n(int64(cfg.Cells)))
 	if cfg.MeanDwell > 0 && cfg.Cells > 1 {
 		u.mrng = mrng
@@ -141,7 +194,11 @@ func (n *city) newUE(id int) (*ue, error) {
 		}
 		u.fbcc = f
 	}
-	g, err := ratecontrol.NewGCCReceiver(ratecontrol.DefaultGCCConfig())
+	// City receivers run the O(1) trendline (the city trajectory is
+	// versioned; sessions keep the bit-exact scanned fit).
+	gcfg := ratecontrol.DefaultGCCConfig()
+	gcfg.IncrementalTrendline = true
+	g, err := ratecontrol.NewGCCReceiver(gcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -150,16 +207,20 @@ func (n *city) newUE(id int) (*ue, error) {
 }
 
 // attach creates a fresh residency for u on the given cell: a new modem
-// row (fresh PF/EWMA state under per-residency seeds), a new port, and
-// the sender/receiver tickers on the shard's clock. Called only from the
-// single-threaded coordinator (admission at t=0, handover completion at
-// barriers).
+// row (fresh PF/EWMA state under per-residency seeds), a new port, and a
+// slot on the shard's resident list, whose shard-level ticker drives the
+// endpoint. Called only from the single-threaded coordinator (admission
+// at t=0, handover completion at barriers).
 func (n *city) attach(u *ue, cell int, now time.Duration, handover bool) error {
 	sh := n.shards[cell]
 	grid := seeds.Grid(n.cfg.Seed, cell, u.id, u.attachSeq)
 	u.attachSeq++
-	p := &port{u: u, sh: sh, rng: rand.New(rand.NewSource(seeds.Stream(grid, "path"))), lastArr: now}
-	link, err := sh.cell.AttachUE(lte.DefaultUEConfig(seeds.Stream(grid, "lte")), p.deliver)
+	u.pathSrc.Seed(seeds.Stream(grid, "path"))
+	u.lteSrc.Seed(seeds.Stream(grid, "lte"))
+	p := &port{u: u, sh: sh, src: u.pathSrc, lastArr: now}
+	ucfg := lte.DefaultUEConfig(0)
+	ucfg.Src = u.lteSrc
+	link, err := sh.cell.AttachUE(ucfg, p.deliver)
 	if err != nil {
 		return err
 	}
@@ -180,10 +241,7 @@ func (n *city) attach(u *ue, cell int, now time.Duration, handover bool) error {
 	u.link = link
 	u.serving = cell
 	sh.links = append(sh.links, link)
-	u.stops = append(u.stops,
-		sh.clk.Ticker(n.cfg.FrameInterval, func() { u.senderTick(p) }),
-		sh.clk.Ticker(n.cfg.FrameInterval, func() { u.receiverTick(p) }),
-	)
+	sh.residents = append(sh.residents, p)
 	ho := 0.0
 	if handover {
 		ho = 1
@@ -192,32 +250,87 @@ func (n *city) attach(u *ue, cell int, now time.Duration, handover bool) error {
 	return nil
 }
 
-// retire ends the current residency: stale events on the old shard no-op
-// from here on, and frames still queued or in flight are abandoned (they
-// count as lost because they are never delivered).
+// retire ends the current residency: the port is unlinked from the old
+// shard's resident list (and its UE pointer nulled, so anything still
+// holding the port no-ops), and frames still queued or in flight are
+// abandoned — they count as lost because they are never delivered.
 func (u *ue) retire() {
-	u.port.u = nil
-	for _, stop := range u.stops {
-		stop()
+	p := u.port
+	p.u = nil
+	res := p.sh.residents
+	for i, q := range res {
+		if q == p {
+			copy(res[i:], res[i+1:])
+			p.sh.residents = res[:len(res)-1]
+			break
+		}
 	}
-	u.stops = u.stops[:0]
 	u.pend = u.pend[:0]
 	u.pendHead = 0
 	u.appq = u.appq[:0]
 	u.apphead = 0
 	u.appqBytes = 0
 	u.credit = 0
+	u.arrQ = u.arrQ[:0]
+	u.arrHead = 0
+	u.fbQ = u.fbQ[:0]
+	u.fbHead = 0
 }
 
-// senderTick captures one frame at the controller's video rate and drains
-// the application queue at the pacing rate. During an outage the radio is
-// gone (port.link nil) but the tick keeps running on the old shard — this
-// is what lets the FBCC watchdog trip on the genuinely silent diag feed.
-func (u *ue) senderTick(p *port) {
-	if p.u == nil {
-		return
-	}
+// tick is the merged endpoint tick, run once per FrameInterval by the
+// resident shard's ticker: apply due reverse-path feedback, land due
+// core-path arrivals, run the sender half (capture + pacing), then the
+// receiver half (GCC estimate + feedback departure). During a handover
+// outage the radio is gone (port.link nil) but the tick keeps running on
+// the old shard — this is what lets the FBCC watchdog trip on the
+// genuinely silent diag feed.
+func (u *ue) tick(p *port) {
 	now := p.sh.clk.Now()
+
+	// Reverse-path feedback due by now, oldest first: the sender sees
+	// exactly the rate a scheduled application would have left in place.
+	for u.fbHead < len(u.fbQ) && u.fbQ[u.fbHead].due <= now {
+		u.rgcc = u.fbQ[u.fbHead].rate
+		u.fbHead++
+	}
+	if u.fbHead == len(u.fbQ) {
+		u.fbQ = u.fbQ[:0]
+		u.fbHead = 0
+	}
+
+	// Core-path arrivals due by now, in arrival order (the ring is
+	// monotone), before the receiver half reads the GCC window.
+	for u.arrHead < len(u.arrQ) && u.arrQ[u.arrHead].arr <= now {
+		a := u.arrQ[u.arrHead]
+		u.arrHead++
+		delay := a.arr - a.capture
+		u.gccRx.OnFrame(a.arr, delay, a.bits)
+		if a.counted {
+			u.stats.FramesDelivered++
+			u.stats.BitsDelivered += a.bits
+			u.stats.DelaySum += delay
+			if delay > metrics.FreezeThreshold {
+				u.stats.FramesFrozen++
+			}
+		}
+	}
+	if u.arrHead == len(u.arrQ) {
+		u.arrQ = u.arrQ[:0]
+		u.arrHead = 0
+	} else if u.arrHead > 64 && u.arrHead*2 > len(u.arrQ) {
+		u.arrQ = u.arrQ[:copy(u.arrQ, u.arrQ[u.arrHead:])]
+		u.arrHead = 0
+	}
+
+	u.senderHalf(p, now)
+
+	r := u.gccRx.Update(now)
+	u.fbQ = append(u.fbQ, feedback{due: now + revDelay, rate: r})
+}
+
+// senderHalf captures one frame at the controller's video rate and drains
+// the application queue at the pacing rate.
+func (u *ue) senderHalf(p *port, now time.Duration) {
 	interval := u.cfg.FrameInterval.Seconds()
 
 	var rv, pace float64
@@ -300,8 +413,8 @@ func (u *ue) drain(p *port, now time.Duration) {
 }
 
 // deliver runs on the shard's clock when a packet clears the air
-// interface; the last packet of a frame schedules the frame's core-path
-// arrival.
+// interface; the last packet of a frame draws the core-path jitter and
+// queues the frame's arrival for the tick that covers it.
 func (p *port) deliver(pkt lte.Packet) {
 	u := p.u
 	if u == nil || pkt.Payload == nil {
@@ -312,45 +425,12 @@ func (p *port) deliver(pkt lte.Packet) {
 		return
 	}
 	now := p.sh.clk.Now()
-	arr := now + coreBase + time.Duration(math.Abs(p.rng.NormFloat64())*float64(coreJitterStd))
+	arr := now + coreBase + time.Duration(math.Abs(p.src.NormFloat64())*float64(coreJitterStd))
 	if arr < p.lastArr {
 		arr = p.lastArr
 	}
 	p.lastArr = arr
-	capture, bits, counted := e.capture, e.bits, e.counted
-	p.sh.clk.Schedule(arr, func() { u.onFrameArrive(p, capture, bits, arr, counted) })
-}
-
-func (u *ue) onFrameArrive(p *port, capture time.Duration, bits float64, arr time.Duration, counted bool) {
-	if p.u == nil {
-		return
-	}
-	delay := arr - capture
-	u.gccRx.OnFrame(arr, delay, bits)
-	if counted {
-		u.stats.FramesDelivered++
-		u.stats.BitsDelivered += bits
-		u.stats.DelaySum += delay
-		if delay > metrics.FreezeThreshold {
-			u.stats.FramesFrozen++
-		}
-	}
-}
-
-// receiverTick runs the GCC receiver estimate and returns it to the
-// sender after the reverse-path delay (applied through the port so a
-// feedback message in flight across a handover dies with the residency).
-func (u *ue) receiverTick(p *port) {
-	if p.u == nil {
-		return
-	}
-	now := p.sh.clk.Now()
-	r := u.gccRx.Update(now)
-	p.sh.clk.Schedule(now+revDelay, func() {
-		if p.u != nil {
-			u.rgcc = r
-		}
-	})
+	u.arrQ = append(u.arrQ, arrival{arr: arr, capture: e.capture, bits: e.bits, counted: e.counted})
 }
 
 // takePend removes and returns the pending entry for a frame id. Frames

@@ -30,8 +30,13 @@ import (
 // SnapshotVersion is bumped whenever the schema or the scenario set
 // changes incompatibly; Read rejects snapshots from another version so a
 // stale baseline fails loudly instead of gating against the wrong data.
-// Version 2 added the multi-cell city scenario.
-const SnapshotVersion = 2
+// Version 2 added the multi-cell city scenario. Version 3 swapped the
+// ROI-PSNR fovea weight to the fixed-grid kernel (≤1e−7 per-weight,
+// ≤1e−5 dB per-frame vs the Acos/Exp reference), moved city-scale noise
+// draws to the native ziggurat sampler, and added the 256-cell scenario —
+// all deterministic, none bit-identical to v2, so v2 baselines are not
+// comparable.
+const SnapshotVersion = 3
 
 // Scenario is one benchmark workload: a deterministic engine run of a
 // known simulated length.
@@ -113,6 +118,49 @@ func Scenarios() []Scenario {
 				return err
 			},
 		},
+		{
+			Name: "city-256c-1024ue-10s",
+			// The stress row: 4× the cells and UEs of the 64-cell scenario,
+			// same simulated horizon. It exists to catch superlinear
+			// blow-ups (per-epoch work that scales with city size rather
+			// than per-cell state) that the smaller row can hide inside its
+			// tolerance band. Workers pinned to 1 for the same calibration
+			// reason as above.
+			SimSeconds: 10,
+			Run: func() error {
+				_, err := network.Run(network.Config{
+					Cells:     256,
+					UEs:       1024,
+					Duration:  10 * time.Second,
+					Seed:      1,
+					MeanDwell: 3 * time.Second,
+					Workers:   1,
+				})
+				return err
+			},
+		},
+	}
+}
+
+// cityScenarioAt is the 64-cell city workload with a caller-chosen worker
+// count — the workload MeasureCityParallel sweeps to report parallel
+// efficiency. It must stay configured identically to the committed
+// city-64c-256ue-10s scenario except for Workers.
+func cityScenarioAt(workers int) Scenario {
+	return Scenario{
+		Name:       "city-64c-256ue-10s",
+		SimSeconds: 10,
+		Run: func() error {
+			_, err := network.Run(network.Config{
+				Cells:     64,
+				UEs:       256,
+				Duration:  10 * time.Second,
+				Seed:      1,
+				MeanDwell: 3 * time.Second,
+				Workers:   workers,
+			})
+			return err
+		},
 	}
 }
 
@@ -134,6 +182,19 @@ type Result struct {
 	SimPerWall float64 `json:"sim_per_wall"`
 }
 
+// ParallelResult records one worker-count sample of the parallel
+// efficiency sweep: how the pipelined city epoch loop scales when the
+// barrier engine fans shards out to N workers.
+type ParallelResult struct {
+	Scenario string `json:"scenario"`
+	Workers  int    `json:"workers"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	// Speedup is ns/op at Workers=1 divided by ns/op at this worker count;
+	// Efficiency is Speedup/Workers (1.0 = perfect linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
 // Snapshot is the machine-readable perf-trajectory record.
 type Snapshot struct {
 	Version   int      `json:"version"`
@@ -142,6 +203,9 @@ type Snapshot struct {
 	GOARCH    string   `json:"goarch"`
 	CalibNs   int64    `json:"calib_ns"`
 	Scenarios []Result `json:"scenarios"`
+	// Parallel is informational (never gated): worker-scaling samples of
+	// the city scenario. Omitted from gate-oriented snapshots.
+	Parallel []ParallelResult `json:"parallel,omitempty"`
 }
 
 // calibrateOnce times one pass of a fixed pure-CPU workload (an xorshift64
@@ -249,6 +313,44 @@ func Measure(reps int) (Snapshot, error) {
 	return MeasureScenarios(Scenarios(), reps)
 }
 
+// MeasureCityParallel sweeps the 64-cell city scenario across worker
+// counts and returns one ParallelResult per count. The first entry's
+// worker count is the speedup denominator, so callers should lead with 1.
+// Results are informational: epoch pipelining is byte-identical across
+// worker counts (TestCityByteIdentityAcrossWorkers), so this measures
+// scheduling overhead and barrier cost only.
+func MeasureCityParallel(workerCounts []int, reps int) ([]ParallelResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]ParallelResult, 0, len(workerCounts))
+	var baseNs int64
+	for _, w := range workerCounts {
+		sc := cityScenarioAt(w)
+		var best int64
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			t0 := time.Now()
+			if err := sc.Run(); err != nil {
+				return nil, fmt.Errorf("perftraj: %s workers=%d: %w", sc.Name, w, err)
+			}
+			if dt := time.Since(t0).Nanoseconds(); best == 0 || dt < best {
+				best = dt
+			}
+		}
+		pr := ParallelResult{Scenario: sc.Name, Workers: w, NsPerOp: best}
+		if baseNs == 0 {
+			baseNs = best
+		}
+		if best > 0 {
+			pr.Speedup = float64(baseNs) / float64(best)
+			pr.Efficiency = pr.Speedup / float64(w)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
 // Write serialises the snapshot as indented JSON (stable field order,
 // trailing newline) so diffs of committed baselines stay readable.
 func Write(path string, s Snapshot) error {
@@ -294,12 +396,25 @@ var DefaultTolerance = Tolerance{Time: 0.10, Alloc: 0.05}
 // line per regression; an empty slice means the gate passes. Improvements
 // never fail the gate — they are the point of the trajectory. A scenario
 // present in the baseline but missing from current is a failure (the gate
-// must not silently narrow).
+// must not silently narrow), and a scenario present in current but absent
+// from the baseline is equally a failure: an ungated scenario looks
+// covered in CI output while its numbers drift, so the baseline must be
+// regenerated to include it.
 func Compare(baseline, current Snapshot, tol Tolerance) []string {
 	var regressions []string
 	cur := make(map[string]Result, len(current.Scenarios))
 	for _, r := range current.Scenarios {
 		cur[r.Name] = r
+	}
+	base := make(map[string]bool, len(baseline.Scenarios))
+	for _, b := range baseline.Scenarios {
+		base[b.Name] = true
+	}
+	for _, c := range current.Scenarios {
+		if !base[c.Name] {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: scenario not present in baseline (regenerate the baseline to gate it)", c.Name))
+		}
 	}
 	for _, b := range baseline.Scenarios {
 		c, ok := cur[b.Name]

@@ -148,6 +148,47 @@ func TestCompareFlagsAllocRegressionsAndMissingScenario(t *testing.T) {
 	}
 }
 
+// TestCompareFlagsExtraScenario: a scenario measured now but absent from
+// the committed baseline must fail the gate rather than silently pass
+// ungated — this was a real bug (Compare only iterated the baseline side,
+// so a newly added scenario never gated until someone remembered to
+// regenerate the baseline).
+func TestCompareFlagsExtraScenario(t *testing.T) {
+	b := baseSnap()
+	c := baseSnap()
+	c.Scenarios = append(c.Scenarios, Result{Name: "new-scenario", NsPerOp: 1})
+	regs := Compare(b, c, DefaultTolerance)
+	if len(regs) != 1 || !strings.Contains(regs[0], "not present in baseline") {
+		t.Fatalf("extra scenario not flagged: %v", regs)
+	}
+	// Identical scenario sets stay clean.
+	if regs := Compare(b, baseSnap(), DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("matching sets produced regressions: %v", regs)
+	}
+}
+
+// TestMeasureCityParallelShape validates the sweep's public contract —
+// unit reference at the first worker count, populated speedup rows — on
+// one real (short) city run per worker count.
+func TestMeasureCityParallelShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real city epochs; skipped in -short mode")
+	}
+	prs, err := MeasureCityParallel([]int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prs) != 2 {
+		t.Fatalf("got %d results, want 2", len(prs))
+	}
+	if prs[0].Workers != 1 || prs[0].Speedup != 1 || prs[0].Efficiency != 1 {
+		t.Fatalf("workers=1 row should be the unit reference: %+v", prs[0])
+	}
+	if prs[1].NsPerOp <= 0 || prs[1].Speedup <= 0 {
+		t.Fatalf("workers=2 row unmeasured: %+v", prs[1])
+	}
+}
+
 // TestCommittedScenariosRun executes the real benchmark scenarios once
 // (skipped under -short: two full 30 s-sim sessions).
 func TestCommittedScenariosRun(t *testing.T) {

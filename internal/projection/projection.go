@@ -289,6 +289,27 @@ func (ge *Geometry) TileAngularDistance(t Tile, byRad, sinBp, cosBp float64) flo
 	return math.Acos(c) * 180 / math.Pi
 }
 
+// FillColumnCos fills dst[i] = cos(yawRad_i − byRad) for every column of
+// the grid (dst must have length ≥ W). The column term of the spherical
+// law of cosines depends only on the tile column, so a consumer scanning
+// many tiles of one orientation evaluates W cosines here instead of one
+// per tile; each entry is the exact Cos argument TileAngularDistance uses.
+func (ge *Geometry) FillColumnCos(dst []float64, byRad float64) {
+	for i, yr := range ge.yawRad {
+		dst[i] = math.Cos(yr - byRad)
+	}
+}
+
+// TileCosFromCol returns the clamped spherical cosine between the viewer
+// orientation and the center of a tile in row j whose column cosine (from
+// FillColumnCos) is colCos. It is the TileAngularDistance computation
+// stopped before the Acos — same operand grouping, same clamp — for
+// consumers (the fovea kernel) that operate on the cosine domain directly.
+func (ge *Geometry) TileCosFromCol(j int, colCos, sinBp, cosBp float64) float64 {
+	c := ge.sinPitch[j]*sinBp + ge.cosPitch[j]*cosBp*colCos
+	return math.Max(-1, math.Min(1, c))
+}
+
 // AppendVisibleTiles is Grid.AppendVisibleTiles on the memoized geometry:
 // the FoV box test is separable (the yaw test depends only on the column,
 // the pitch test only on the row), so it evaluates W+H comparisons instead

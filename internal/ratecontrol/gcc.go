@@ -40,6 +40,14 @@ type GCCConfig struct {
 	// Warmup disarms the overuse detector for the first instants of the
 	// session while the access-link queue primes (WebRTC's start phase).
 	Warmup time.Duration
+	// IncrementalTrendline maintains the trendline regression sums
+	// incrementally (O(1) per frame) instead of re-scanning the whole
+	// window on every frame. The fitted slope differs from the scanned
+	// fit only in floating-point summation order. The population-scale
+	// city runs enable it (their trajectory is versioned against exactly
+	// this class of change); the single-session paths leave it off and
+	// keep the bit-exact scan.
+	IncrementalTrendline bool
 }
 
 // DefaultGCCConfig returns the parameters used by the evaluation.
@@ -111,18 +119,6 @@ const (
 	stateDecrease
 )
 
-type frameObs struct {
-	arrival time.Duration
-	delay   time.Duration
-	bits    float64
-	// x, y cache the trendline regressors (arrival seconds, smoothed delay
-	// ms) at observation time: the slope fit runs once per packet over the
-	// whole window, and converting Durations there dominated it. Cached
-	// with exactly the conversions the fit used, so slopes are
-	// bit-identical.
-	x, y float64
-}
-
 type seqObs struct {
 	arrival time.Duration
 	seq     int64
@@ -134,13 +130,33 @@ type seqObs struct {
 type GCCReceiver struct {
 	cfg GCCConfig
 
-	// frames is the live window (oldest first), always a sub-slice of fbuf.
-	// fbuf is a fixed 2×Window backing array: when an append would run off
-	// its end, the window is compacted back to the front, so steady-state
-	// operation never grows a slice (amortized one entry-copy per frame).
-	frames       []frameObs
-	fbuf         []frameObs
+	// The frame window lives in parallel arrays (oldest first), each a
+	// fixed 2×Window backing array indexed by [fstart, fend): when an
+	// append would run off the end, the window is compacted back to the
+	// front, so steady-state operation never grows a slice (amortized one
+	// entry-copy per frame). The split is structure-of-arrays on purpose —
+	// the two hot scans touch disjoint columns (the slope fit reads only
+	// fx/fy, the rate measurement only farr/fbits), and with an interleaved
+	// struct each scan dragged the other's fields through cache. fx/fy
+	// cache the trendline regressors (arrival seconds, smoothed delay ms)
+	// at observation time with exactly the conversions the fit used, so
+	// slopes are bit-identical to recomputing them in the scan.
+	farr         []time.Duration
+	fbits        []float64
+	fx, fy       []float64
 	fstart, fend int
+
+	// rskip persists ReceivedRate's prefix cursor: every entry in
+	// [fstart, min(rskip, fend)) has already tested below a past cutoff,
+	// and cutoffs only grow, so those entries can never re-enter the rate
+	// window. The cursor is rebased on compaction and reset with the
+	// window, and ReceivedRate still applies the per-entry predicate past
+	// it — the returned sum is bit-identical to a full scan.
+	rskip int
+
+	// Incremental trendline sums over [fstart, fend) (only maintained
+	// when cfg.IncrementalTrendline is set; see GCCConfig).
+	tsx, tsy, tsxx, tsxy float64
 
 	// smoothed is the EWMA-filtered delay fed to the trendline, mirroring
 	// WebRTC's smoothing of the accumulated delay before the slope fit.
@@ -155,6 +171,14 @@ type GCCReceiver struct {
 	rate       float64
 	lastUpdate time.Duration
 	usage      BandwidthUsage
+
+	// growElapsed/growFactor memoize Pow(IncreasePerSec, elapsed): Update
+	// runs on a fixed cadence, so elapsed is the same Duration every call
+	// and the transcendental (the costliest op of a steady-state Update)
+	// collapses to one comparison. Same arguments ⇒ same float64, so the
+	// memo is bit-identical to recomputing.
+	growElapsed time.Duration
+	growFactor  float64
 
 	seqs []seqObs // recent packet sequence numbers for loss estimation
 
@@ -173,7 +197,10 @@ func NewGCCReceiver(cfg GCCConfig) (*GCCReceiver, error) {
 	}
 	return &GCCReceiver{
 		cfg:       cfg,
-		fbuf:      make([]frameObs, 2*cfg.Window),
+		farr:      make([]time.Duration, 2*cfg.Window),
+		fbits:     make([]float64, 2*cfg.Window),
+		fx:        make([]float64, 2*cfg.Window),
+		fy:        make([]float64, 2*cfg.Window),
 		threshold: cfg.InitialThreshold,
 		state:     stateIncrease,
 		rate:      cfg.InitialRate,
@@ -191,23 +218,42 @@ func (g *GCCReceiver) OnFrame(arrival, delay time.Duration, bits float64) {
 		g.smoothed += 0.15 * (d - g.smoothed)
 	}
 	smoothedDelay := time.Duration(g.smoothed * float64(time.Millisecond))
-	if g.fend == len(g.fbuf) {
-		// Backing array exhausted: slide the window home.
-		n := copy(g.fbuf, g.fbuf[g.fstart:g.fend])
+	if g.fend == len(g.farr) {
+		// Backing arrays exhausted: slide the window home.
+		n := copy(g.farr, g.farr[g.fstart:g.fend])
+		copy(g.fbits, g.fbits[g.fstart:g.fend])
+		copy(g.fx, g.fx[g.fstart:g.fend])
+		copy(g.fy, g.fy[g.fstart:g.fend])
+		if g.rskip > g.fstart {
+			g.rskip -= g.fstart
+		} else {
+			g.rskip = 0
+		}
 		g.fstart, g.fend = 0, n
 	}
-	g.fbuf[g.fend] = frameObs{
-		arrival: arrival,
-		delay:   smoothedDelay,
-		bits:    bits,
-		x:       arrival.Seconds(),
-		y:       float64(smoothedDelay.Milliseconds()),
-	}
+	x := arrival.Seconds()
+	y := float64(smoothedDelay.Milliseconds())
+	g.farr[g.fend] = arrival
+	g.fbits[g.fend] = bits
+	g.fx[g.fend] = x
+	g.fy[g.fend] = y
 	g.fend++
-	if g.fend-g.fstart > g.cfg.Window {
+	if g.cfg.IncrementalTrendline {
+		g.tsx += x
+		g.tsy += y
+		g.tsxx += x * x
+		g.tsxy += x * y
+		if g.fend-g.fstart > g.cfg.Window {
+			ex, ey := g.fx[g.fstart], g.fy[g.fstart]
+			g.tsx -= ex
+			g.tsy -= ey
+			g.tsxx -= ex * ex
+			g.tsxy -= ex * ey
+			g.fstart++
+		}
+	} else if g.fend-g.fstart > g.cfg.Window {
 		g.fstart++
 	}
-	g.frames = g.fbuf[g.fstart:g.fend]
 	if arrival >= g.cfg.Warmup {
 		g.detect(arrival)
 	}
@@ -251,18 +297,22 @@ func (g *GCCReceiver) LossRatio() float64 {
 // slope returns the least-squares delay slope in ms per second over the
 // frame window.
 func (g *GCCReceiver) slope() float64 {
-	n := len(g.frames)
+	n := g.fend - g.fstart
 	if n < 3 {
 		return 0
 	}
 	var sx, sy, sxx, sxy float64
-	for i := range g.frames {
-		f := &g.frames[i]
-		x, y := f.x, f.y
-		sx += x
-		sy += y
-		sxx += x * x
-		sxy += x * y
+	if g.cfg.IncrementalTrendline {
+		sx, sy, sxx, sxy = g.tsx, g.tsy, g.tsxx, g.tsxy
+	} else {
+		fx, fy := g.fx[g.fstart:g.fend], g.fy[g.fstart:g.fend]
+		for i, x := range fx {
+			y := fy[i]
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+		}
 	}
 	fn := float64(n)
 	den := fn*sxx - sx*sx
@@ -315,10 +365,24 @@ func (g *GCCReceiver) Usage() BandwidthUsage { return g.usage }
 
 // ReceivedRate measures the incoming throughput over the configured window.
 func (g *GCCReceiver) ReceivedRate(now time.Duration) float64 {
+	// Arrivals are (near-)monotone, so the out-of-window frames are a
+	// prefix: skip it touching only the arrival column, then sum the
+	// remainder in the same index order (and under the same per-entry
+	// predicate, so a non-monotone arrival still lands in the same set)
+	// as the full scan this replaces — bit-identical result.
+	cutoff := now - g.cfg.RateWindow
+	i, n := g.fstart, g.fend
+	if g.rskip > i {
+		i = g.rskip
+	}
+	for i < n && g.farr[i] < cutoff {
+		i++
+	}
+	g.rskip = i
 	var bits float64
-	for _, f := range g.frames {
-		if now-f.arrival <= g.cfg.RateWindow {
-			bits += f.bits
+	for ; i < n; i++ {
+		if now-g.farr[i] <= g.cfg.RateWindow {
+			bits += g.fbits[i]
 		}
 	}
 	return bits / g.cfg.RateWindow.Seconds()
@@ -363,10 +427,15 @@ func (g *GCCReceiver) Update(now time.Duration) float64 {
 		g.usage = Normal
 		g.inOveruse = false
 		g.fend = g.fstart
-		g.frames = g.fbuf[g.fstart:g.fend]
+		g.rskip = g.fstart
+		g.tsx, g.tsy, g.tsxx, g.tsxy = 0, 0, 0, 0
 	case stateIncrease:
 		if elapsed > 0 {
-			g.rate *= math.Pow(g.cfg.IncreasePerSec, elapsed.Seconds())
+			if elapsed != g.growElapsed {
+				g.growElapsed = elapsed
+				g.growFactor = math.Pow(g.cfg.IncreasePerSec, elapsed.Seconds())
+			}
+			g.rate *= g.growFactor
 		}
 		// GCC never lets the estimate run away from reality: the target is
 		// capped at 1.5× the observed incoming rate.

@@ -1,0 +1,78 @@
+package seeds
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormFloat64Moments checks the ziggurat sampler against the first
+// four moments of the standard normal. With 2M draws the standard error
+// of the mean is ~0.0007, so the tolerances below are ~10σ — loose enough
+// never to flake, tight enough to catch a mis-generated table (a wrong
+// layer constant shifts the variance or kurtosis by percent-scale).
+func TestNormFloat64Moments(t *testing.T) {
+	s := NewSource(12345)
+	const n = 2_000_000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		x := s.NormFloat64()
+		sum += x
+		x2 := x * x
+		sum2 += x2
+		sum3 += x2 * x
+		sum4 += x2 * x2
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	skew := sum3 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.01 {
+		t.Errorf("variance = %v, want ≈1", variance)
+	}
+	if math.Abs(skew) > 0.02 {
+		t.Errorf("skewness = %v, want ≈0", skew)
+	}
+	if math.Abs(kurt-3) > 0.05 {
+		t.Errorf("kurtosis = %v, want ≈3", kurt)
+	}
+}
+
+// TestNormFloat64Tail verifies the tail path: the sampler must produce
+// values beyond the rightmost ziggurat layer (|x| > R ≈ 3.44) at roughly
+// the normal tail rate 2Φ(-R) ≈ 5.8e-4, and must produce them on both
+// sides.
+func TestNormFloat64Tail(t *testing.T) {
+	s := NewSource(7)
+	const n = 4_000_000
+	pos, neg := 0, 0
+	for i := 0; i < n; i++ {
+		x := s.NormFloat64()
+		if x > zigR {
+			pos++
+		} else if x < -zigR {
+			neg++
+		}
+	}
+	got := float64(pos+neg) / n
+	const want = 5.77e-4 // 2Φ(-3.4426)
+	if got < want/2 || got > want*2 {
+		t.Errorf("tail rate = %v, want ≈%v", got, want)
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("one-sided tail: pos=%d neg=%d", pos, neg)
+	}
+}
+
+// TestNormFloat64Deterministic pins stream reproducibility: same seed,
+// same draws.
+func TestNormFloat64Deterministic(t *testing.T) {
+	a, b := NewSource(99), NewSource(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.NormFloat64(), b.NormFloat64(); x != y {
+			t.Fatalf("draw %d: %v != %v", i, x, y)
+		}
+	}
+}

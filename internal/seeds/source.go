@@ -1,0 +1,54 @@
+package seeds
+
+import "math/rand"
+
+// SplitMix is a rand.Source64 backed by the SplitMix64 generator (Steele
+// et al., OOPSLA'14): an 8-byte counter advanced by the golden gamma and
+// passed through the same finalizer Derive/Grid/Stream use. It exists for
+// the population-scale layers (the multi-cell city), where math/rand's
+// default lagged-Fibonacci source is the wrong trade: each source carries
+// a 607-word (≈5 KB) state table whose seeding costs hundreds of draws
+// and whose working set evicts the simulation's own hot state — with
+// thousands of per-residency streams, RNG seeding and RNG cache misses
+// were the two largest rows of the city CPU profile. SplitMix64 seeds in
+// one store, keeps the whole stream in 8 bytes, and passes the usual
+// statistical batteries; wrapped in rand.New it drives the standard
+// library's ziggurat/rejection algorithms unchanged, so draw *quality*
+// and draw *algorithms* match the legacy streams — only the underlying
+// uniform source differs.
+//
+// The single-session paths keep their lagged-Fibonacci streams bit-exact;
+// SplitMix is opt-in per stream (lte.UEConfig.Src / lte.CellConfig.Src,
+// the city layer's mobility and core-path streams).
+type SplitMix struct {
+	s uint64
+}
+
+// NewSource returns a *SplitMix seeded with seed, ready for rand.New.
+func NewSource(seed int64) *SplitMix {
+	return &SplitMix{s: uint64(seed)}
+}
+
+// Seed resets the stream. Reseeding is a single store, which is what lets
+// a long-lived residency slot reuse one source across re-attachments
+// instead of allocating a fresh 5 KB table per handover.
+func (s *SplitMix) Seed(seed int64) { s.s = uint64(seed) }
+
+// Uint64 advances the counter by the golden gamma and finalizes it —
+// exactly the mix() bijection, so distinct seeds give decorrelated
+// streams for the same reason distinct Grid coordinates do.
+func (s *SplitMix) Uint64() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	x := s.s
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+var _ rand.Source64 = (*SplitMix)(nil)

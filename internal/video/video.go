@@ -326,13 +326,27 @@ func (ef *EncodedFrame) ROIPSNRScratch(cfg Config, actual projection.Orientation
 		sigma = 25
 	}
 	// The viewer-side trigonometry of the angular distance is shared by
-	// every visible tile; the tile side comes from the geometry tables.
+	// every visible tile; the tile side comes from the geometry tables,
+	// and the column cosine — the only per-tile trig input — is hoisted
+	// to one evaluation per column. The foveation weight itself comes
+	// from the fixed-grid kernel (fovea.go): no Acos/Exp per tile.
 	by, sinBp, cosBp := projection.OrientationTrig(actual)
-	twoSigmaSq := 2 * sigma * sigma
+	fk := foveaFor(sigma)
+	var colBuf [64]float64
+	var colCos []float64
+	if g.W <= len(colBuf) {
+		colCos = colBuf[:g.W]
+		ge.FillColumnCos(colCos, by)
+	}
 	num, den := 0.0, 0.0
 	for _, tl := range vis {
-		d := ge.TileAngularDistance(tl, by, sinBp, cosBp)
-		w := ge.AreaW[tl.J] * math.Exp(-d*d/twoSigmaSq)
+		var c float64
+		if colCos != nil {
+			c = ge.TileCosFromCol(tl.J, colCos[tl.I], sinBp, cosBp)
+		} else {
+			c = ge.TileCosFromCol(tl.J, math.Cos(ge.CenterYaw[tl.I]*math.Pi/180-by), sinBp, cosBp)
+		}
+		w := ge.AreaW[tl.J] * fk.eval(c)
 		num += w * cfg.PSNRForLevel(ef.LevelAt(g.Index(tl)))
 		den += w
 	}
